@@ -1,0 +1,412 @@
+//! The application corpus of the applicability study (§V-C).
+//!
+//! The paper built its pool from Ubuntu Software Center "Top Rated"
+//! packages and Arch Linux repositories, ending up with **58** applications
+//! that use the camera, microphone, or screen, plus an additional **50**
+//! clipboard-using applications. This module reconstructs that pool: the
+//! applications the paper names appear verbatim (with their documented
+//! quirks — Skype's autostart camera probe, delayed screenshot tools);
+//! the remainder are representative members of the same categories.
+
+use overhaul_sim::SimDuration;
+
+use crate::behavior::{Access, AppSpec, Category, Expectation, IpcKind, ResourceKind, Trigger};
+
+fn on_click(resource: ResourceKind) -> Access {
+    Access {
+        resource,
+        trigger: Trigger::OnClick,
+        expect: Expectation::Granted,
+    }
+}
+
+fn via_child(resource: ResourceKind) -> Access {
+    Access {
+        resource,
+        trigger: Trigger::ViaChildProcess,
+        expect: Expectation::Granted,
+    }
+}
+
+fn via_ipc(kind: IpcKind, resource: ResourceKind) -> Access {
+    Access {
+        resource,
+        trigger: Trigger::ViaIpc(kind),
+        expect: Expectation::Granted,
+    }
+}
+
+fn via_cli(resource: ResourceKind) -> Access {
+    Access {
+        resource,
+        trigger: Trigger::ViaCli,
+        expect: Expectation::Granted,
+    }
+}
+
+/// The 58 device/screen applications.
+pub fn device_corpus() -> Vec<AppSpec> {
+    let mut pool = Vec::new();
+
+    // --- Video conferencing (paper names Skype and Jitsi). -----------
+    // Skype probes the camera at startup, before login — the study's one
+    // "spurious" (but desirable) alert.
+    pool.push(AppSpec::new(
+        "Skype",
+        Category::VideoConferencing,
+        vec![
+            Access {
+                resource: ResourceKind::Cam,
+                trigger: Trigger::OnLaunch,
+                expect: Expectation::Blocked,
+            },
+            on_click(ResourceKind::Cam),
+            on_click(ResourceKind::Mic),
+        ],
+    ));
+    pool.push(AppSpec::new(
+        "Jitsi",
+        Category::VideoConferencing,
+        vec![on_click(ResourceKind::Cam), on_click(ResourceKind::Mic)],
+    ));
+    for name in [
+        "Ekiga",
+        "Linphone",
+        "Empathy",
+        "Pidgin Video",
+        "Google Talk Plugin",
+        "Tox qTox",
+        "Mumble",
+        "TeamSpeak",
+        "Jami",
+        "Wire",
+        "Riot",
+    ] {
+        pool.push(AppSpec::new(
+            name,
+            Category::VideoConferencing,
+            vec![on_click(ResourceKind::Cam), on_click(ResourceKind::Mic)],
+        ));
+    }
+
+    // --- Audio/video editors (paper names Audacity and Kwave). -------
+    for name in [
+        "Audacity", "Kwave", "Ardour", "LMMS", "Qtractor", "Sweep", "ReZound", "Jokosher",
+    ] {
+        pool.push(AppSpec::new(
+            name,
+            Category::AvEditor,
+            vec![on_click(ResourceKind::Mic)],
+        ));
+    }
+
+    // --- Audio/video recorders (paper names Cheese and ZArt). --------
+    for name in [
+        "Cheese",
+        "ZArt",
+        "guvcview",
+        "Kamoso",
+        "Webcamoid",
+        "QtCAM",
+        "Sound Recorder",
+        "gnome-sound-recorder",
+    ] {
+        pool.push(AppSpec::new(
+            name,
+            Category::AvRecorder,
+            vec![on_click(ResourceKind::Cam), on_click(ResourceKind::Mic)],
+        ));
+    }
+    // CLI recorders exercise the pseudo-terminal propagation path.
+    for name in ["arecord", "ffmpeg-capture", "sox-rec"] {
+        pool.push(AppSpec::new(
+            name,
+            Category::AvRecorder,
+            vec![via_cli(ResourceKind::Mic)],
+        ));
+    }
+
+    // --- Screenshot utilities (paper names Shutter, GNOME Screenshot;
+    //     documents the delayed-shot limitation). ----------------------
+    pool.push(AppSpec::new(
+        "Shutter",
+        Category::Screenshot,
+        vec![on_click(ResourceKind::Screen)],
+    ));
+    pool.push(AppSpec::new(
+        "GNOME Screenshot",
+        Category::Screenshot,
+        vec![on_click(ResourceKind::Screen)],
+    ));
+    // Delayed shots (5 s > δ) are blocked by design — the paper's
+    // documented limitation, not a malfunction.
+    pool.push(AppSpec::new(
+        "Shutter (delayed)",
+        Category::Screenshot,
+        vec![Access {
+            resource: ResourceKind::Screen,
+            trigger: Trigger::DelayedAfterClick(SimDuration::from_secs(5)),
+            expect: Expectation::Blocked,
+        }],
+    ));
+    pool.push(AppSpec::new(
+        "xfce4-screenshooter (delayed)",
+        Category::Screenshot,
+        vec![Access {
+            resource: ResourceKind::Screen,
+            trigger: Trigger::DelayedAfterClick(SimDuration::from_secs(10)),
+            expect: Expectation::Blocked,
+        }],
+    ));
+    for name in [
+        "KSnapshot",
+        "Spectacle",
+        "xfce4-screenshooter",
+        "Lximage-screenshot",
+        "Deepin Screenshot",
+    ] {
+        pool.push(AppSpec::new(
+            name,
+            Category::Screenshot,
+            vec![on_click(ResourceKind::Screen)],
+        ));
+    }
+    // CLI screenshot tools (scrot & friends) go through the terminal.
+    for name in ["scrot", "maim", "import-im6"] {
+        pool.push(AppSpec::new(
+            name,
+            Category::Screenshot,
+            vec![via_cli(ResourceKind::Screen)],
+        ));
+    }
+    // A launcher-driven tool exercises the Figure 3 spawn pattern.
+    pool.push(AppSpec::new(
+        "Shot (via launcher)",
+        Category::Screenshot,
+        vec![via_child(ResourceKind::Screen)],
+    ));
+
+    // --- Screencasting (paper names Istanbul and recordMyDesktop). ---
+    for name in [
+        "Istanbul",
+        "recordMyDesktop",
+        "SimpleScreenRecorder",
+        "Kazam",
+        "OBS Studio",
+        "vokoscreen",
+        "Byzanz",
+        "Peek",
+    ] {
+        pool.push(AppSpec::new(
+            name,
+            Category::Screencast,
+            vec![on_click(ResourceKind::Screen), on_click(ResourceKind::Mic)],
+        ));
+    }
+
+    // --- Browsers running web video chat (paper names Firefox,
+    //     Chrome); multi-process ones exercise the Figure 4 pattern. ---
+    pool.push(AppSpec::new(
+        "Chromium (web chat)",
+        Category::Browser,
+        vec![
+            via_ipc(IpcKind::SharedMemory, ResourceKind::Cam),
+            via_ipc(IpcKind::SharedMemory, ResourceKind::Mic),
+        ],
+    ));
+    pool.push(AppSpec::new(
+        "Chrome (web chat)",
+        Category::Browser,
+        vec![via_ipc(IpcKind::SharedMemory, ResourceKind::Cam)],
+    ));
+    pool.push(AppSpec::new(
+        "Firefox (web chat)",
+        Category::Browser,
+        vec![
+            via_ipc(IpcKind::Socket, ResourceKind::Cam),
+            via_ipc(IpcKind::Socket, ResourceKind::Mic),
+        ],
+    ));
+    pool.push(AppSpec::new(
+        "Opera (web chat)",
+        Category::Browser,
+        vec![via_ipc(IpcKind::Pipe, ResourceKind::Cam)],
+    ));
+    pool.push(AppSpec::new(
+        "Epiphany (web chat)",
+        Category::Browser,
+        vec![via_ipc(IpcKind::MessageQueue, ResourceKind::Mic)],
+    ));
+
+    debug_assert_eq!(pool.len(), 58, "paper pool size");
+    pool
+}
+
+/// The 50 clipboard applications.
+pub fn clipboard_corpus() -> Vec<AppSpec> {
+    let mut pool = Vec::new();
+    let copy_paste = || {
+        vec![
+            on_click(ResourceKind::ClipboardCopy),
+            on_click(ResourceKind::ClipboardPaste),
+        ]
+    };
+
+    // Office suites.
+    for name in [
+        "LibreOffice Writer",
+        "LibreOffice Calc",
+        "LibreOffice Impress",
+        "Calligra Words",
+        "AbiWord",
+        "Gnumeric",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Text and code editors.
+    for name in [
+        "gedit",
+        "Kate",
+        "Mousepad",
+        "Leafpad",
+        "Geany",
+        "Sublime Text",
+        "Atom",
+        "Emacs (GUI)",
+        "gVim",
+        "Bluefish",
+        "Brackets",
+        "Scribes",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Media editors.
+    for name in ["GIMP", "Inkscape", "Krita", "Blender", "Darktable", "Pinta"] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Browsers.
+    for name in [
+        "Firefox",
+        "Chromium",
+        "Chrome",
+        "Opera",
+        "Konqueror",
+        "Midori",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Mail clients.
+    for name in [
+        "Thunderbird",
+        "Evolution",
+        "KMail",
+        "Claws Mail",
+        "Geary",
+        "Sylpheed",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Terminal emulators.
+    for name in [
+        "xterm",
+        "GNOME Terminal",
+        "Konsole",
+        "urxvt",
+        "Terminator",
+        "Xfce Terminal",
+        "LXTerminal",
+        "st",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+    // Office helpers / viewers.
+    for name in [
+        "Evince", "Okular", "FBReader", "Calibre", "Zathura", "qpdfview",
+    ] {
+        pool.push(AppSpec::new(name, Category::Productivity, copy_paste()));
+    }
+
+    debug_assert_eq!(pool.len(), 50, "paper pool size");
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_corpus_has_58_apps_like_the_paper() {
+        assert_eq!(device_corpus().len(), 58);
+    }
+
+    #[test]
+    fn clipboard_corpus_has_50_apps_like_the_paper() {
+        assert_eq!(clipboard_corpus().len(), 50);
+    }
+
+    #[test]
+    fn names_are_unique_within_each_pool() {
+        // (Browsers legitimately appear in both pools with different
+        // behavior specs.)
+        for pool in [device_corpus(), clipboard_corpus()] {
+            let names: Vec<String> = pool.iter().map(|a| a.name.clone()).collect();
+            let mut deduped = names.clone();
+            deduped.sort();
+            deduped.dedup();
+            assert_eq!(deduped.len(), names.len());
+        }
+    }
+
+    #[test]
+    fn skype_probes_camera_on_launch() {
+        let skype = device_corpus()
+            .into_iter()
+            .find(|a| a.name == "Skype")
+            .unwrap();
+        assert!(skype
+            .accesses
+            .iter()
+            .any(|a| matches!(a.trigger, Trigger::OnLaunch) && a.expect == Expectation::Blocked));
+    }
+
+    #[test]
+    fn delayed_screenshot_tools_expect_blocks() {
+        let delayed: Vec<AppSpec> = device_corpus()
+            .into_iter()
+            .filter(|a| a.name.contains("delayed"))
+            .collect();
+        assert_eq!(delayed.len(), 2);
+        for app in delayed {
+            assert!(app
+                .accesses
+                .iter()
+                .all(|a| matches!(a.trigger, Trigger::DelayedAfterClick(_))
+                    && a.expect == Expectation::Blocked));
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_trigger_pattern() {
+        let pool = device_corpus();
+        let has = |f: &dyn Fn(&Trigger) -> bool| {
+            pool.iter()
+                .any(|a| a.accesses.iter().any(|x| f(&x.trigger)))
+        };
+        assert!(has(&|t| matches!(t, Trigger::OnLaunch)));
+        assert!(has(&|t| matches!(t, Trigger::OnClick)));
+        assert!(has(&|t| matches!(t, Trigger::DelayedAfterClick(_))));
+        assert!(has(&|t| matches!(t, Trigger::ViaChildProcess)));
+        assert!(has(&|t| matches!(t, Trigger::ViaCli)));
+        for kind in [
+            IpcKind::Pipe,
+            IpcKind::Socket,
+            IpcKind::SharedMemory,
+            IpcKind::MessageQueue,
+        ] {
+            assert!(
+                has(&|t| matches!(t, Trigger::ViaIpc(k) if *k == kind)),
+                "{kind:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulated application corpus, malware samples, and workload generators
+//! for the Overhaul evaluation.
+//!
+//! * [`behavior`] — the application behavior model ([`behavior::AppSpec`])
+//!   and the generic session driver used by the applicability study;
+//! * [`corpus`] — the paper's §V-C pools: 58 device/screen applications and
+//!   50 clipboard applications;
+//! * [`malware`] — the §V-D information-stealing spyware and the active
+//!   bypass attacks (input forgery, clipboard protocol bypass, ptrace
+//!   injection);
+//! * [`workload`] — the 21-day interactive usage generator driving the
+//!   protected-vs-unprotected comparison;
+//! * [`dbus`] — a message bus layered on kernel IPC, demonstrating that
+//!   higher-level IPC "built on these OS primitives (are) automatically
+//!   covered" (and its over-approximation through shared daemons).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod corpus;
+pub mod dbus;
+pub mod malware;
+pub mod workload;
+
+pub use behavior::{
+    run_session, Access, AppSpec, Category, Expectation, IpcKind, ResourceKind, SessionOutcome,
+    Trigger,
+};
+pub use malware::{CycleLoot, Spyware};
+pub use workload::{run_empirical_experiment, EmpiricalReport, WorkloadConfig, CLIPBOARD_SECRETS};

@@ -1,0 +1,17 @@
+//! Table I, row "Clipboard": full ICCCM paste operations (the worst case
+//! per the paper), baseline vs. Overhaul grant-all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_bench::table1::{clipboard_iter, clipboard_setup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/clipboard_paste");
+    let mut baseline = clipboard_setup(false);
+    group.bench_function("baseline", |b| b.iter(|| clipboard_iter(&mut baseline)));
+    let mut overhaul = clipboard_setup(true);
+    group.bench_function("overhaul", |b| b.iter(|| clipboard_iter(&mut overhaul)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

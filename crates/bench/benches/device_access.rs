@@ -1,0 +1,17 @@
+//! Table I, row "Device Access": `open(2)` on the microphone node,
+//! baseline vs. Overhaul grant-all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_bench::table1::{device_iter, device_setup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/device_access");
+    let mut baseline = device_setup(false);
+    group.bench_function("baseline", |b| b.iter(|| device_iter(&mut baseline)));
+    let mut overhaul = device_setup(true);
+    group.bench_function("overhaul", |b| b.iter(|| device_iter(&mut overhaul)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table I, row "Bonnie++": create/stat/delete cycles on regular files —
+//! the mediation hook must cost (almost) nothing on non-device opens.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_bench::table1::{fs_iter, fs_setup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/filesystem");
+    let mut baseline = fs_setup(false);
+    group.bench_function("baseline", |b| b.iter(|| fs_iter(&mut baseline)));
+    let mut overhaul = fs_setup(true);
+    group.bench_function("overhaul", |b| b.iter(|| fs_iter(&mut overhaul)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Per-mechanism IPC propagation overhead.
+//!
+//! The paper notes its "preliminary measurements indicated that the shared
+//! memory communication incurred the highest overhead" among the IPC
+//! mechanisms — which is why Table I stresses shared memory specifically.
+//! This bench measures one send+receive round trip per mechanism under
+//! baseline and Overhaul stacks, so the per-mechanism ranking is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_core::System;
+use overhaul_sim::{Pid, SimDuration};
+
+struct Pair {
+    system: System,
+    a: Pid,
+    b: Pid,
+}
+
+fn pair(protected: bool) -> Pair {
+    let mut system = if protected {
+        System::grant_all()
+    } else {
+        System::baseline()
+    };
+    let a = system.spawn_process(None, "/usr/bin/a").expect("spawn a");
+    let b = system.spawn_process(None, "/usr/bin/b").expect("spawn b");
+    Pair { system, a, b }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipc_propagation");
+
+    for (label, protected) in [("baseline", false), ("overhaul", true)] {
+        // Pipe round trip.
+        {
+            let mut p = pair(protected);
+            let (r, w) = p.system.kernel_mut().sys_pipe(p.a).unwrap();
+            group.bench_function(format!("{label}/pipe"), |bench| {
+                bench.iter(|| {
+                    p.system.kernel_mut().sys_write(p.a, w, b"m").unwrap();
+                    p.system.kernel_mut().sys_read(p.a, r, 8).unwrap();
+                })
+            });
+        }
+        // SysV message queue round trip.
+        {
+            let mut p = pair(protected);
+            let q = p.system.kernel_mut().sys_msgget(p.a, 1).unwrap();
+            group.bench_function(format!("{label}/sysv_msgq"), |bench| {
+                bench.iter(|| {
+                    p.system.kernel_mut().sys_msgsnd(p.a, q, 1, b"m").unwrap();
+                    p.system.kernel_mut().sys_msgrcv(p.b, q, 1).unwrap();
+                })
+            });
+        }
+        // Socket datagram round trip.
+        {
+            let mut p = pair(protected);
+            let (sa, sb) = p.system.kernel_mut().sys_socketpair(p.a).unwrap();
+            group.bench_function(format!("{label}/unix_socket"), |bench| {
+                bench.iter(|| {
+                    p.system.kernel_mut().sys_write(p.a, sa, b"m").unwrap();
+                    p.system.kernel_mut().sys_read(p.a, sb, 8).unwrap();
+                })
+            });
+        }
+        // Shared-memory write+read with periodic re-arming (the paper's
+        // highest-overhead mechanism).
+        {
+            let mut p = pair(protected);
+            let shm = p.system.kernel_mut().sys_shmget(p.a, 9, 1).unwrap();
+            let va = p.system.kernel_mut().sys_shmat(p.a, shm).unwrap();
+            let vb = p.system.kernel_mut().sys_shmat(p.b, shm).unwrap();
+            let mut ops = 0u64;
+            group.bench_function(format!("{label}/shared_memory"), |bench| {
+                bench.iter(|| {
+                    p.system
+                        .kernel_mut()
+                        .sys_shm_write(p.a, va, 0, b"m")
+                        .unwrap();
+                    p.system.kernel_mut().sys_shm_read(p.b, vb, 0, 1).unwrap();
+                    ops += 1;
+                    if ops.is_multiple_of(2048) {
+                        p.system.advance(SimDuration::from_millis(600));
+                    }
+                })
+            });
+        }
+        // Pseudo-terminal write+read.
+        {
+            let mut p = pair(protected);
+            let (master, slave) = p.system.kernel_mut().sys_openpty(p.a).unwrap();
+            group.bench_function(format!("{label}/pty"), |bench| {
+                bench.iter(|| {
+                    p.system.kernel_mut().sys_write(p.a, master, b"m").unwrap();
+                    p.system.kernel_mut().sys_read(p.a, slave, 8).unwrap();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

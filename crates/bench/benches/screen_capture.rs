@@ -1,0 +1,18 @@
+//! Table I, row "Screen Capture": root-window `GetImage`, baseline vs.
+//! Overhaul grant-all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_bench::table1::{screen_iter, screen_setup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/screen_capture");
+    group.sample_size(40);
+    let mut baseline = screen_setup(false);
+    group.bench_function("baseline", |b| b.iter(|| screen_iter(&mut baseline)));
+    let mut overhaul = screen_setup(true);
+    group.bench_function("overhaul", |b| b.iter(|| screen_iter(&mut overhaul)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table I, row "Shared Memory": stores into a shared mapping with the
+//! fault-interposition machinery re-arming as virtual time advances.
+//!
+//! The paper swept segment sizes from 1 to 10 000 pages and found no
+//! correlation; this bench keeps two representative sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overhaul_bench::table1::{shm_iter, shm_setup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/shared_memory");
+    for pages in [1usize, 64] {
+        let mut baseline = shm_setup(false, pages);
+        group.bench_function(format!("baseline/{pages}pages"), |b| {
+            b.iter(|| shm_iter(&mut baseline))
+        });
+        let mut overhaul = shm_setup(true, pages);
+        group.bench_function(format!("overhaul/{pages}pages"), |b| {
+            b.iter(|| shm_iter(&mut overhaul))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

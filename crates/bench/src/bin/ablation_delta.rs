@@ -1,0 +1,27 @@
+//! δ-threshold ablation: false denials vs. residual exposure.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin ablation_delta
+//! ```
+//!
+//! The paper: "setting a threshold of less than 1 second could lead to
+//! falsely revoked permissions, but 2 seconds is sufficient".
+
+use overhaul_bench::ablation::sweep_delta;
+
+fn main() {
+    println!("δ ablation — false-deny rate (human-like app reaction delays) vs exposure\n");
+    println!(
+        "{:>9} {:>16} {:>20}",
+        "delta", "false-deny rate", "exposure fraction"
+    );
+    for point in sweep_delta(&[250, 500, 1000, 2000, 3000, 5000], 200, 42) {
+        println!(
+            "{:>7}ms {:>15.1}% {:>19.1}%",
+            point.delta_ms,
+            point.false_deny_rate * 100.0,
+            point.exposure_fraction * 100.0
+        );
+    }
+    println!("\npaper's choice: δ = 2000 ms (first row with ~0% false denials)");
+}

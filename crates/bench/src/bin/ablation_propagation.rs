@@ -1,0 +1,26 @@
+//! IPC-propagation (P2) ablation.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin ablation_propagation
+//! ```
+//!
+//! §III-D argues interposing on every IPC mechanism is *necessary* for
+//! real applications; this ablation disables P2 and counts how many
+//! IPC/CLI-dependent corpus applications break.
+
+use overhaul_bench::ablation::sweep_propagation;
+
+fn main() {
+    println!("P2 (IPC propagation) ablation over the IPC/CLI-dependent corpus apps\n");
+    let report = sweep_propagation();
+    println!("  dependent apps          {}", report.dependent_apps);
+    println!("  functional with P2      {}", report.functional_with_p2);
+    println!("  functional without P2   {}", report.functional_without_p2);
+    println!(
+        "\nwithout IPC propagation, {} of {} multi-process/CLI apps lose access\n\
+         to their devices — the paper's motivation for interposing on every\n\
+         IPC mechanism (§III-D).",
+        report.dependent_apps - report.functional_without_p2,
+        report.dependent_apps
+    );
+}

@@ -1,0 +1,28 @@
+//! Shared-memory wait-window ablation: fault cost vs. missed propagation.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin ablation_shm_wait
+//! ```
+//!
+//! The paper: the window "must be sufficiently shorter than the 2 second
+//! interaction expiration time"; 500 ms "yielded a good
+//! performance-usability trade-off".
+
+use overhaul_bench::ablation::sweep_shm_wait;
+
+fn main() {
+    println!("shm wait-window ablation — interposition cost vs propagation fidelity\n");
+    println!(
+        "{:>9} {:>16} {:>24}",
+        "wait", "faults /10k wr", "missed propagation"
+    );
+    for point in sweep_shm_wait(&[0, 50, 100, 250, 500, 1000, 2000], 60, 42) {
+        println!(
+            "{:>7}ms {:>16.1} {:>23.1}%",
+            point.wait_ms,
+            point.faults_per_10k,
+            point.missed_propagation_rate * 100.0
+        );
+    }
+    println!("\npaper's choice: 500 ms");
+}

@@ -1,0 +1,30 @@
+//! Clickjacking visibility-threshold ablation.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin ablation_visibility
+//! ```
+//!
+//! Higher thresholds defeat popup/overlay clickjacking but suppress more
+//! legitimate first-clicks on freshly mapped windows.
+
+use overhaul_bench::ablation::sweep_visibility;
+
+fn main() {
+    println!("visibility-threshold ablation — legit suppression vs popup defense\n");
+    println!(
+        "{:>11} {:>20} {:>18}",
+        "threshold", "legit suppressed", "popup attack"
+    );
+    for point in sweep_visibility(&[0, 100, 250, 500, 1000, 2000], 120, 42) {
+        println!(
+            "{:>9}ms {:>19.1}% {:>18}",
+            point.threshold_ms,
+            point.legit_suppression_rate * 100.0,
+            if point.popup_attack_succeeds {
+                "SUCCEEDS"
+            } else {
+                "blocked"
+            }
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the §V-D 21-day empirical experiment.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin empirical [days]
+//! ```
+//!
+//! Runs the same interactive workload + spyware on a protected and an
+//! unprotected machine and prints the side-by-side outcome.
+
+use overhaul_apps::workload::{run_empirical_experiment, EmpiricalReport, WorkloadConfig};
+use overhaul_core::System;
+
+fn print_report(label: &str, report: &EmpiricalReport) {
+    println!("{label}:");
+    println!("  days simulated            {}", report.days);
+    println!("  spyware sampling cycles   {}", report.spy_cycles);
+    println!("  items stolen              {}", report.items_stolen);
+    println!("  distinct clipboard loot   {}", {
+        let mut loot = report.clipboard_stolen.clone();
+        loot.sort();
+        loot.dedup();
+        loot.len()
+    });
+    println!("  legit accesses granted    {}", report.legit_granted);
+    println!(
+        "  legit accesses denied     {}  (false positives)",
+        report.legit_denied
+    );
+    if !report.clipboard_stolen.is_empty() {
+        let mut loot = report.clipboard_stolen.clone();
+        loot.sort();
+        loot.dedup();
+        for item in loot.iter().take(5) {
+            println!("    stolen clipboard sample: {item:?}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let days = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(21);
+    let config = WorkloadConfig {
+        days,
+        ..WorkloadConfig::default()
+    };
+    println!(
+        "§V-D empirical experiment reproduction — {days} simulated days\n\
+         (paper: 21 days on two personal machines; spyware samples clipboard,\n\
+         screen, and microphone every {}s of active use)\n",
+        config.spy_interval.as_secs()
+    );
+
+    let mut protected = System::protected();
+    let protected_report = run_empirical_experiment(&mut protected, config);
+    print_report("OVERHAUL-protected machine", &protected_report);
+
+    let mut baseline = System::baseline();
+    let baseline_report = run_empirical_experiment(&mut baseline, config);
+    print_report("Unprotected machine", &baseline_report);
+
+    println!(
+        "paper: protected machine leaked nothing with zero false positives over\n\
+         21 days; the unprotected machine leaked passwords, phone numbers, email\n\
+         excerpts, screenshots of e-banking, and microphone recordings."
+    );
+}

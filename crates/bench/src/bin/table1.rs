@@ -1,0 +1,23 @@
+//! Regenerates Table I (performance overhead of Overhaul).
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin table1 [--quick]
+//! ```
+//!
+//! Measures each micro-benchmark on an unmodified baseline stack and on
+//! the grant-all Overhaul stack, printing measured overheads next to the
+//! paper's. Absolute times are simulator times, not the authors' testbed;
+//! the comparison target is the overhead column.
+
+use overhaul_bench::table1::{format_table, run_all, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    println!(
+        "Table I reproduction — {} workload\n(paper: Intel i7-930 testbed; here: simulated stack, compare overhead %)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let rows = run_all(scale);
+    println!("{}", format_table(&rows));
+}

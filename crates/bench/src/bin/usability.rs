@@ -1,0 +1,24 @@
+//! Regenerates the §V-B usability study with simulated participants.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin usability [participants]
+//! ```
+
+use overhaul_bench::usability::{format_report, run_study, StudyConfig};
+
+fn main() {
+    let participants = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(46);
+    let config = StudyConfig {
+        participants,
+        ..StudyConfig::default()
+    };
+    println!(
+        "§V-B usability study reproduction — {participants} simulated participants\n\
+         (attention model calibrated to the paper's observed 24/16/6 split)\n"
+    );
+    let report = run_study(config);
+    println!("{}", format_report(&report));
+}

@@ -1,0 +1,57 @@
+//! **Overhaul** — input-driven access control for traditional operating
+//! systems (reproduction of Onarlioglu et al., DSN 2016).
+//!
+//! Overhaul grants an application access to privacy-sensitive resources —
+//! microphone, camera, clipboard, screen contents — only when the request
+//! follows an *authentic hardware user interaction* with that application
+//! within a temporal-proximity threshold δ (2 s by default). It does so
+//! transparently: applications see ordinary `EACCES`/`BadAccess` errors,
+//! users see non-intrusive overlay alerts, and nothing needs recompiling.
+//!
+//! This crate assembles the two substrates into a whole machine:
+//!
+//! * [`overhaul_kernel`] — kernel simulator: the permission monitor inside
+//!   `task_struct`, device-open mediation, the netlink channel, and
+//!   interaction-timestamp propagation across `fork` and every IPC family;
+//! * [`overhaul_xserver`] — display-manager simulator: the trusted input
+//!   path (synthetic-event filtering, clickjacking gate), the trusted
+//!   output path (overlay alerts with a visual shared secret), and
+//!   clipboard/screen mediation.
+//!
+//! The entry point is [`System`]:
+//!
+//! ```
+//! use overhaul_core::System;
+//! use overhaul_xserver::geometry::Rect;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = System::protected();
+//! let app = machine.launch_gui_app("/usr/bin/recorder", Rect::new(0, 0, 640, 480))?;
+//! machine.settle();
+//!
+//! // Without interaction the mic is off-limits...
+//! assert!(machine.open_device(app.pid, "/dev/snd/mic0").is_err());
+//!
+//! // ...but right after a real click it opens, and the user is alerted.
+//! machine.click_window(app.window);
+//! assert!(machine.open_device(app.pid, "/dev/snd/mic0").is_ok());
+//! assert_eq!(machine.alert_history().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod integrated;
+pub mod link;
+pub mod system;
+pub mod timeline;
+pub mod user;
+
+pub use config::{DeviceSpec, OverhaulConfig};
+pub use integrated::DirectMonitorLink;
+pub use link::NetlinkMonitorLink;
+pub use system::{Gui, System};
+pub use user::{AttentionProfile, NoticeOutcome, SimulatedUser};

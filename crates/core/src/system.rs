@@ -1,0 +1,596 @@
+//! The assembled Overhaul machine: kernel + display manager + wiring.
+//!
+//! [`System`] owns one simulated kernel and one simulated X server sharing
+//! a virtual clock, connects them over the authenticated netlink channel,
+//! and exposes the operations experiment harnesses need: launching
+//! processes and GUI apps, injecting hardware input, issuing X requests,
+//! opening devices, and pumping kernel alert pushes onto the overlay.
+
+use overhaul_kernel::error::SysResult;
+use overhaul_kernel::netlink::{ConnId, KernelPush};
+use overhaul_kernel::syscall::OpenMode;
+use overhaul_kernel::{Kernel, XORG_PATH};
+use overhaul_sim::{AuditLog, Clock, Fd, Pid, SimDuration, Timestamp};
+use overhaul_xserver::geometry::{Point, Rect};
+use overhaul_xserver::overlay::Alert;
+use overhaul_xserver::protocol::{ClientId, Reply, Request, XError};
+use overhaul_xserver::window::WindowId;
+use overhaul_xserver::XServer;
+
+use crate::config::OverhaulConfig;
+use crate::integrated::DirectMonitorLink;
+use crate::link::NetlinkMonitorLink;
+
+/// Handles to a launched GUI application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gui {
+    /// Kernel process.
+    pub pid: Pid,
+    /// X client connection.
+    pub client: ClientId,
+    /// The app's (mapped) main window.
+    pub window: WindowId,
+}
+
+/// A complete simulated machine.
+#[derive(Debug)]
+pub struct System {
+    clock: Clock,
+    kernel: Kernel,
+    x: XServer,
+    x_pid: Pid,
+    x_conn: Option<ConnId>,
+    config: OverhaulConfig,
+}
+
+impl System {
+    /// Boots a machine with `config`: kernel, devices, X server process,
+    /// and — when Overhaul is active — the authenticated netlink channel.
+    pub fn new(config: OverhaulConfig) -> Self {
+        let clock = Clock::new();
+        let mut kernel = Kernel::new(clock.clone(), config.kernel.clone());
+        for device in &config.devices {
+            kernel.attach_device(device.class, &device.label, &device.path);
+        }
+        let x_pid = kernel
+            .sys_spawn(Pid::INIT, XORG_PATH)
+            .expect("init is alive at boot");
+        // An integrated display manager is kernel code: no channel exists.
+        let wants_channel =
+            !config.integrated_dm && (config.kernel.overhaul_enabled || config.x.overhaul_enabled);
+        let x_conn = if wants_channel {
+            Some(
+                kernel
+                    .netlink_connect(x_pid)
+                    .expect("trusted X binary installed at boot"),
+            )
+        } else {
+            None
+        };
+        let x = XServer::new(clock.clone(), config.x.clone());
+        System {
+            clock,
+            kernel,
+            x,
+            x_pid,
+            x_conn,
+            config,
+        }
+    }
+
+    /// Boots the paper's protected configuration.
+    pub fn protected() -> Self {
+        System::new(OverhaulConfig::protected())
+    }
+
+    /// Boots an unmodified (baseline) machine.
+    pub fn baseline() -> Self {
+        System::new(OverhaulConfig::baseline())
+    }
+
+    /// Boots the Table I grant-all measurement configuration.
+    pub fn grant_all() -> Self {
+        System::new(OverhaulConfig::grant_all())
+    }
+
+    /// Boots a protected machine with a kernel-integrated display manager
+    /// (the §III design variant: no netlink channel).
+    pub fn integrated() -> Self {
+        System::new(OverhaulConfig::integrated())
+    }
+
+    /// Runs `f` with the display manager and the wiring-appropriate
+    /// monitor link (netlink, in-process, or grant-all for baselines).
+    fn with_link<R>(
+        &mut self,
+        f: impl FnOnce(&mut XServer, &mut dyn overhaul_xserver::protocol::MonitorLink) -> R,
+    ) -> R {
+        if self.config.integrated_dm {
+            let mut link = DirectMonitorLink::new(&mut self.kernel);
+            f(&mut self.x, &mut link)
+        } else if let Some(conn) = self.x_conn {
+            let mut link = NetlinkMonitorLink::new(&mut self.kernel, conn);
+            f(&mut self.x, &mut link)
+        } else {
+            let mut link = overhaul_xserver::protocol::GrantAllLink;
+            f(&mut self.x, &mut link)
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &OverhaulConfig {
+        &self.config
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Advances virtual time and runs kernel housekeeping (the shm wait
+    /// list re-arm).
+    pub fn advance(&mut self, d: SimDuration) -> Timestamp {
+        let now = self.clock.advance(d);
+        self.kernel.tick();
+        now
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (syscalls).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The display manager.
+    pub fn xserver(&self) -> &XServer {
+        &self.x
+    }
+
+    /// Mutable display-manager access.
+    pub fn xserver_mut(&mut self) -> &mut XServer {
+        &mut self.x
+    }
+
+    /// The X server's kernel process.
+    pub fn x_pid(&self) -> Pid {
+        self.x_pid
+    }
+
+    /// The kernel-side audit log.
+    pub fn kernel_audit(&self) -> &AuditLog {
+        self.kernel.audit()
+    }
+
+    /// The display-manager audit log.
+    pub fn x_audit(&self) -> &AuditLog {
+        self.x.audit()
+    }
+
+    // ---------------------------------------------------------------
+    // Process / app lifecycle
+    // ---------------------------------------------------------------
+
+    /// Spawns a process running `exe` as a child of `parent`
+    /// (init if `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel spawn errors.
+    pub fn spawn_process(&mut self, parent: Option<Pid>, exe: &str) -> SysResult<Pid> {
+        self.kernel.sys_spawn(parent.unwrap_or(Pid::INIT), exe)
+    }
+
+    /// Connects a process to the X server (the server learns the pid from
+    /// kernel socket introspection, modeled here by the core doing the
+    /// lookup).
+    pub fn connect_x(&mut self, pid: Pid) -> ClientId {
+        self.x.connect_client(pid)
+    }
+
+    /// Launches a GUI application: spawns the process, connects it to X,
+    /// and creates + maps its main window. The window is *not* yet "stable"
+    /// for the clickjacking gate; call [`System::settle`] before clicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; X errors cannot occur for a fresh client.
+    pub fn launch_gui_app(&mut self, exe: &str, rect: Rect) -> SysResult<Gui> {
+        let pid = self.spawn_process(None, exe)?;
+        let client = self.connect_x(pid);
+        let window = match self.x_request(client, Request::CreateWindow { rect }) {
+            Ok(Reply::Window(w)) => w,
+            _ => unreachable!("CreateWindow on a fresh client cannot fail"),
+        };
+        let _ = self.x_request(client, Request::MapWindow { window });
+        Ok(Gui {
+            pid,
+            client,
+            window,
+        })
+    }
+
+    /// Advances past the clickjacking visibility threshold so freshly
+    /// mapped windows accept trusted input.
+    pub fn settle(&mut self) {
+        let threshold = self.config.x.visibility_threshold;
+        self.advance(threshold + SimDuration::from_millis(1));
+    }
+
+    // ---------------------------------------------------------------
+    // User input
+    // ---------------------------------------------------------------
+
+    /// A hardware click at screen coordinates.
+    pub fn click_at(&mut self, p: Point) -> Option<WindowId> {
+        let hit = self.with_link(|x, link| x.hardware_click(p, link));
+        self.pump_alerts();
+        hit
+    }
+
+    /// A hardware click on the center of `window`. Returns `false` if the
+    /// click actually landed on another window (occlusion).
+    pub fn click_window(&mut self, window: WindowId) -> bool {
+        let Ok(rect) = self.x.windows().get(window).map(|w| w.rect()) else {
+            return false;
+        };
+        let center = Point::new(
+            rect.x + rect.width as i32 / 2,
+            rect.y + rect.height as i32 / 2,
+        );
+        self.click_at(center) == Some(window)
+    }
+
+    /// A hardware key press (goes to the focus window).
+    pub fn key(&mut self, ch: char) -> Option<WindowId> {
+        let hit = self.with_link(|x, link| x.hardware_key(ch, link));
+        self.pump_alerts();
+        hit
+    }
+
+    // ---------------------------------------------------------------
+    // Requests & devices
+    // ---------------------------------------------------------------
+
+    /// Issues an X request on behalf of `client`, with the kernel monitor
+    /// wired in, then pumps any resulting alert pushes onto the overlay.
+    ///
+    /// # Errors
+    ///
+    /// The X server's protocol errors, including `BadAccess` for Overhaul
+    /// denials.
+    pub fn x_request(&mut self, client: ClientId, request: Request) -> Result<Reply, XError> {
+        let result = self.with_link(|x, link| x.request(client, request, link));
+        self.pump_alerts();
+        result
+    }
+
+    /// Opens a device node on behalf of `pid` (read-only), pumping alerts.
+    ///
+    /// # Errors
+    ///
+    /// `EACCES` when Overhaul blocks the access, plus ordinary path errors.
+    pub fn open_device(&mut self, pid: Pid, path: &str) -> SysResult<Fd> {
+        let result = self.kernel.sys_open(pid, path, OpenMode::ReadOnly);
+        self.pump_alerts();
+        result
+    }
+
+    /// Opens a device under the §IV-A *prompt-based* policy variant: if
+    /// the temporal-proximity check denies, an unforgeable prompt is shown
+    /// on the trusted output path and `user_approves` models the user's
+    /// hardware answer on the trusted input path. An approval is itself an
+    /// authentic interaction, so the retried open succeeds.
+    ///
+    /// # Errors
+    ///
+    /// `EACCES` when the user denies the prompt (or a prompt was already
+    /// pending); ordinary path errors otherwise.
+    pub fn open_device_prompted(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        user_approves: bool,
+    ) -> SysResult<Fd> {
+        match self.open_device(pid, path) {
+            Ok(fd) => Ok(fd),
+            Err(overhaul_kernel::error::Errno::Eacces) => {
+                let process = self
+                    .kernel
+                    .tasks()
+                    .get(pid)
+                    .map(|t| t.name().to_string())
+                    .unwrap_or_else(|_| "<unknown>".into());
+                let op = if path.contains("video") { "cam" } else { "mic" };
+                if self.x.ask_prompt(&process, op).is_none() {
+                    return Err(overhaul_kernel::error::Errno::Eacces);
+                }
+                let answered = self.x.hardware_prompt_answer(user_approves);
+                debug_assert!(answered.is_some());
+                if !user_approves {
+                    return Err(overhaul_kernel::error::Errno::Eacces);
+                }
+                // The hardware-verified approval is an authentic
+                // interaction with (on behalf of) the requesting process.
+                if let Some(conn) = self.x_conn {
+                    let now = self.clock.now();
+                    let _ = self.kernel.netlink_send(
+                        conn,
+                        overhaul_kernel::netlink::NetlinkMessage::InteractionNotification {
+                            pid,
+                            at: now,
+                        },
+                    );
+                }
+                self.open_device(pid, path)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Forwards pending kernel alert requests (`V_{A,op}`) to the display
+    /// manager's overlay. Called automatically by the input/request/device
+    /// helpers.
+    pub fn pump_alerts(&mut self) {
+        if self.config.integrated_dm {
+            // Integrated display managers read the monitor queue directly.
+            for alert in self.kernel.take_alerts_direct() {
+                self.x
+                    .show_alert(&alert.process_name, &alert.op.to_string(), alert.granted);
+            }
+            return;
+        }
+        let Some(conn) = self.x_conn else { return };
+        let Ok(pushes) = self.kernel.netlink_take_pushes(conn) else {
+            return;
+        };
+        for push in pushes {
+            match push {
+                KernelPush::DisplayAlert(alert) => {
+                    self.x
+                        .show_alert(&alert.process_name, &alert.op.to_string(), alert.granted);
+                }
+            }
+        }
+    }
+
+    /// Alerts currently visible on the overlay.
+    pub fn active_alerts(&self) -> Vec<&Alert> {
+        self.x.alerts().active(self.clock.now())
+    }
+
+    /// Every alert shown so far.
+    pub fn alert_history(&self) -> &[Alert] {
+        self.x.alerts().history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overhaul_kernel::error::Errno;
+    use overhaul_sim::AuditCategory;
+
+    fn gui(system: &mut System, exe: &str, x: i32) -> Gui {
+        let gui = system
+            .launch_gui_app(exe, Rect::new(x, 0, 100, 100))
+            .expect("launch");
+        system.settle();
+        gui
+    }
+
+    #[test]
+    fn figure1_end_to_end_mic_access() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        // (1) user clicks the app; (2) notification; (3) event delivered.
+        assert!(system.click_window(app.window));
+        // (4–5) app opens the mic within δ: granted.
+        system.advance(SimDuration::from_millis(200));
+        let fd = system
+            .open_device(app.pid, "/dev/snd/mic0")
+            .expect("granted");
+        // (6) the user sees an alert on the trusted overlay.
+        assert_eq!(system.alert_history().len(), 1);
+        assert!(system.alert_history()[0].granted);
+        assert_eq!(system.alert_history()[0].op, "mic");
+        // The device works.
+        let sample = system.kernel_mut().sys_read(app.pid, fd, 64).unwrap();
+        assert!(sample.starts_with(b"pcm:"));
+    }
+
+    #[test]
+    fn background_process_is_blocked_with_alert() {
+        let mut system = System::protected();
+        let spy = system.spawn_process(None, "/usr/bin/spy").unwrap();
+        assert_eq!(system.open_device(spy, "/dev/video0"), Err(Errno::Eacces));
+        assert_eq!(system.alert_history().len(), 1);
+        assert!(!system.alert_history()[0].granted);
+        assert!(system.alert_history()[0]
+            .render()
+            .contains("was blocked from"));
+    }
+
+    #[test]
+    fn expired_interaction_denies_device() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        system.advance(SimDuration::from_secs(3));
+        assert_eq!(
+            system.open_device(app.pid, "/dev/snd/mic0"),
+            Err(Errno::Eacces)
+        );
+    }
+
+    #[test]
+    fn baseline_system_has_no_mediation_or_alerts() {
+        let mut system = System::baseline();
+        let spy = system.spawn_process(None, "/usr/bin/spy").unwrap();
+        assert!(system.open_device(spy, "/dev/video0").is_ok());
+        assert!(system.alert_history().is_empty());
+    }
+
+    #[test]
+    fn key_events_route_through_focus_and_notify() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/editor", 0);
+        system
+            .x_request(app.client, Request::SetInputFocus { window: app.window })
+            .unwrap();
+        assert_eq!(system.key('v'), Some(app.window));
+        assert_eq!(
+            system
+                .x_audit()
+                .count(AuditCategory::InteractionNotification),
+            1
+        );
+        // The keystroke correlates a subsequent device open.
+        assert!(system.open_device(app.pid, "/dev/snd/mic0").is_ok());
+    }
+
+    #[test]
+    fn overlapping_apps_click_lands_on_top() {
+        let mut system = System::protected();
+        let below = gui(&mut system, "/usr/bin/below", 0);
+        let above = gui(&mut system, "/usr/bin/above", 0); // same rect, later map → on top
+        assert!(
+            !system.click_window(below.window),
+            "occluded window cannot be clicked"
+        );
+        assert!(system.click_window(above.window));
+        // Only the top app gained interaction credit.
+        assert!(system.open_device(above.pid, "/dev/snd/mic0").is_ok());
+        assert_eq!(
+            system.open_device(below.pid, "/dev/video0"),
+            Err(Errno::Eacces)
+        );
+    }
+
+    #[test]
+    fn advance_ticks_kernel_housekeeping() {
+        let mut system = System::protected();
+        let a = system.spawn_process(None, "/usr/bin/a").unwrap();
+        let shm = system.kernel_mut().sys_shm_open(a, "/seg", 1).unwrap();
+        let vma = system.kernel_mut().sys_shmat(a, shm).unwrap();
+        system.kernel_mut().sys_shm_write(a, vma, 0, b"x").unwrap();
+        let faults_before = system.kernel().mm_stats().faults;
+        system.advance(SimDuration::from_millis(600));
+        system.kernel_mut().sys_shm_write(a, vma, 0, b"y").unwrap();
+        assert_eq!(
+            system.kernel().mm_stats().faults,
+            faults_before + 1,
+            "re-armed after wait"
+        );
+    }
+
+    #[test]
+    fn prompt_mode_approval_grants_access() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        // No click: the plain open would be denied, but the user approves
+        // the unforgeable prompt.
+        let fd = system
+            .open_device_prompted(app.pid, "/dev/snd/mic0", true)
+            .expect("approved prompt grants");
+        assert!(system.kernel_mut().sys_read(app.pid, fd, 8).is_ok());
+        assert_eq!(system.xserver().prompts().history().len(), 1);
+        assert!(system.xserver().prompts().history()[0]
+            .render()
+            .starts_with("[cat.png]"));
+    }
+
+    #[test]
+    fn prompt_mode_denial_blocks_access() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        assert_eq!(
+            system.open_device_prompted(app.pid, "/dev/video0", false),
+            Err(Errno::Eacces)
+        );
+        assert_eq!(system.xserver().prompts().history().len(), 1);
+    }
+
+    #[test]
+    fn prompt_skipped_when_proximity_already_grants() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        system.advance(SimDuration::from_millis(100));
+        system
+            .open_device_prompted(app.pid, "/dev/snd/mic0", false)
+            .expect("no prompt needed");
+        assert_eq!(
+            system.xserver().prompts().asked_count(),
+            0,
+            "transparent when input-driven"
+        );
+    }
+
+    #[test]
+    fn prompt_approval_is_per_process() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        let other = system.spawn_process(None, "/usr/bin/other").unwrap();
+        system
+            .open_device_prompted(app.pid, "/dev/snd/mic0", true)
+            .unwrap();
+        assert_eq!(
+            system.open_device(other, "/dev/snd/mic0"),
+            Err(Errno::Eacces),
+            "an approval must not leak to other processes"
+        );
+    }
+
+    #[test]
+    fn integrated_dm_enforces_the_same_policy() {
+        for mut system in [System::protected(), System::integrated()] {
+            let app = gui(&mut system, "/usr/bin/recorder", 0);
+            assert_eq!(
+                system.open_device(app.pid, "/dev/snd/mic0"),
+                Err(Errno::Eacces),
+                "deny by default in both wirings"
+            );
+            system.click_window(app.window);
+            system.advance(SimDuration::from_millis(100));
+            assert!(system.open_device(app.pid, "/dev/snd/mic0").is_ok());
+            system.advance(SimDuration::from_secs(3));
+            assert_eq!(
+                system.open_device(app.pid, "/dev/snd/mic0"),
+                Err(Errno::Eacces)
+            );
+        }
+    }
+
+    #[test]
+    fn integrated_dm_has_no_netlink_channel_but_alerts_work() {
+        let mut system = System::integrated();
+        assert!(
+            system.x_conn.is_none(),
+            "integrated DM must not open a channel"
+        );
+        let spy = system.spawn_process(None, "/usr/bin/.spy").unwrap();
+        assert_eq!(system.open_device(spy, "/dev/video0"), Err(Errno::Eacces));
+        assert_eq!(
+            system.alert_history().len(),
+            1,
+            "alerts flow without netlink"
+        );
+        assert!(!system.alert_history()[0].granted);
+    }
+
+    #[test]
+    fn x_process_exists_in_kernel() {
+        let system = System::protected();
+        let task = system.kernel().tasks().get(system.x_pid()).unwrap();
+        assert_eq!(task.exe_path(), XORG_PATH);
+    }
+}

@@ -1,0 +1,126 @@
+//! The sensitive-device path map and the trusted udev helper (§IV-B,
+//! *Device mediation*).
+//!
+//! Overhaul's `open` hook needs to know *which filesystem paths are
+//! sensitive devices*, but "modern Linux distributions often make use of
+//! dynamic device name assignments at runtime using frameworks such as
+//! udev". The prototype therefore relies on "a trusted helper application,
+//! owned by the superuser ... invoked in response to changes in the device
+//! filesystem, (which) propagates these changes to the kernel via an
+//! authenticated netlink channel."
+//!
+//! [`DeviceMap`] is the kernel-side map the helper maintains. Crucially,
+//! mediation keys off this map — if the helper lags behind a rename, the
+//! device is temporarily unmediated, which is the real design's failure
+//! mode and is covered by tests.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceId;
+
+/// Kernel-side map from device-node paths to sensitive devices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceMap {
+    by_path: BTreeMap<String, DeviceId>,
+}
+
+impl DeviceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DeviceMap::default()
+    }
+
+    /// Registers `path` as the node of `device`.
+    pub fn insert(&mut self, path: impl Into<String>, device: DeviceId) {
+        self.by_path.insert(path.into(), device);
+    }
+
+    /// Removes a path mapping, returning the device it pointed to.
+    pub fn remove(&mut self, path: &str) -> Option<DeviceId> {
+        self.by_path.remove(path)
+    }
+
+    /// Applies a rename reported by the trusted helper. A rename of an
+    /// unknown path is ignored (the helper may replay events).
+    pub fn rename(&mut self, old_path: &str, new_path: impl Into<String>) {
+        if let Some(device) = self.by_path.remove(old_path) {
+            self.by_path.insert(new_path.into(), device);
+        }
+    }
+
+    /// The sensitive device at `path`, if the map knows one.
+    pub fn lookup(&self, path: &str) -> Option<DeviceId> {
+        self.by_path.get(path).copied()
+    }
+
+    /// Whether `path` is currently mapped as sensitive.
+    pub fn is_sensitive(&self, path: &str) -> bool {
+        self.by_path.contains_key(path)
+    }
+
+    /// The current path of `device`, if mapped.
+    pub fn path_of(&self, device: DeviceId) -> Option<&str> {
+        self.by_path
+            .iter()
+            .find(|(_, d)| **d == device)
+            .map(|(p, _)| p.as_str())
+    }
+
+    /// Number of mapped paths.
+    pub fn len(&self) -> usize {
+        self.by_path.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_path.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut map = DeviceMap::new();
+        map.insert("/dev/video0", DeviceId::from_raw(1));
+        assert_eq!(map.lookup("/dev/video0"), Some(DeviceId::from_raw(1)));
+        assert!(map.is_sensitive("/dev/video0"));
+        assert!(!map.is_sensitive("/dev/null"));
+    }
+
+    #[test]
+    fn rename_moves_mapping() {
+        let mut map = DeviceMap::new();
+        map.insert("/dev/video0", DeviceId::from_raw(1));
+        map.rename("/dev/video0", "/dev/video1");
+        assert_eq!(map.lookup("/dev/video0"), None);
+        assert_eq!(map.lookup("/dev/video1"), Some(DeviceId::from_raw(1)));
+    }
+
+    #[test]
+    fn rename_of_unknown_path_is_ignored() {
+        let mut map = DeviceMap::new();
+        map.rename("/dev/ghost", "/dev/real");
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_device() {
+        let mut map = DeviceMap::new();
+        map.insert("/dev/snd", DeviceId::from_raw(2));
+        assert_eq!(map.remove("/dev/snd"), Some(DeviceId::from_raw(2)));
+        assert_eq!(map.remove("/dev/snd"), None);
+    }
+
+    #[test]
+    fn path_of_reverse_lookup() {
+        let mut map = DeviceMap::new();
+        map.insert("/dev/mic", DeviceId::from_raw(3));
+        assert_eq!(map.path_of(DeviceId::from_raw(3)), Some("/dev/mic"));
+        assert_eq!(map.path_of(DeviceId::from_raw(9)), None);
+    }
+}

@@ -1,0 +1,780 @@
+//! User-space Linux-kernel simulator hosting the Overhaul permission
+//! monitor.
+//!
+//! This crate reproduces every kernel-side mechanism of *Overhaul:
+//! Input-Driven Access Control for Better Privacy on Traditional Operating
+//! Systems* (DSN 2016):
+//!
+//! * a process table whose [`task::Task`] carries the per-process
+//!   interaction timestamp (and duplicates it on `fork` — policy **P1**),
+//! * an `open(2)` path that mediates sensitive device nodes through the
+//!   [`monitor::PermissionMonitor`] (Figure 1),
+//! * the [`netlink`] secure channel with VM-map peer authentication,
+//! * the trusted udev helper's [`devfs::DeviceMap`],
+//! * every IPC family with interaction-timestamp propagation — policy
+//!   **P2** ([`ipc`]), including page-fault-interposed shared memory
+//!   ([`mm`]) and pseudo-terminals for CLI workflows,
+//! * [`ptrace`] hardening and its procfs toggle.
+//!
+//! The entry point is [`Kernel`], which owns all subsystems and exposes the
+//! syscall surface.
+//!
+//! # Example
+//!
+//! ```
+//! use overhaul_kernel::{Kernel, KernelConfig, OpenMode};
+//! use overhaul_kernel::device::DeviceClass;
+//! use overhaul_sim::{Clock, Pid, SimDuration};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clock = Clock::new();
+//! let mut kernel = Kernel::new(clock.clone(), KernelConfig::default());
+//! let mic = kernel.attach_device(DeviceClass::Microphone, "mic", "/dev/snd/mic0");
+//!
+//! let app = kernel.sys_spawn(Pid::INIT, "/usr/bin/recorder")?;
+//! // No user interaction yet: Overhaul denies the open.
+//! assert!(kernel.sys_open(app, "/dev/snd/mic0", OpenMode::ReadOnly).is_err());
+//! # let _ = mic;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod devfs;
+pub mod device;
+pub mod error;
+pub mod ipc;
+pub mod mm;
+pub mod monitor;
+pub mod netlink;
+pub mod process;
+pub mod procfs;
+pub mod ptrace;
+pub mod syscall;
+pub mod task;
+pub mod vfs;
+
+use overhaul_sim::{AuditCategory, AuditLog, Clock, Pid, SimDuration, Timestamp, Uid};
+
+use crate::devfs::DeviceMap;
+use crate::device::{DeviceClass, DeviceId, DeviceRegistry};
+use crate::error::{Errno, SysResult};
+use crate::ipc::msgqueue::MsgQueueTable;
+use crate::ipc::pipe::PipeTable;
+use crate::ipc::pty::PtyTable;
+use crate::ipc::shm::ShmTable;
+use crate::ipc::unix_socket::SocketTable;
+use crate::mm::MemoryManager;
+use crate::monitor::{
+    AlertRequest, Decision, MonitorConfig, PermissionMonitor, ResourceOp, Verdict,
+};
+use crate::netlink::{ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply};
+use crate::process::ProcessTable;
+use crate::ptrace::PtracePolicy;
+use crate::vfs::Vfs;
+
+pub use crate::error::SysResult as KernelResult;
+pub use crate::syscall::OpenMode;
+
+/// Well-known path of the X server binary (netlink-trusted).
+pub const XORG_PATH: &str = "/usr/lib/xorg/Xorg";
+
+/// Well-known path of the trusted udev helper (netlink-trusted).
+pub const UDEV_HELPER_PATH: &str = "/usr/lib/overhaul/udev-helper";
+
+/// Kernel-wide configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// Master switch: with `false` the kernel behaves like an unmodified
+    /// Linux (the Table I baseline).
+    pub overhaul_enabled: bool,
+    /// Permission-monitor tunables (δ, grant-all benchmark mode).
+    pub monitor: MonitorConfig,
+    /// Shared-memory wait-list window (paper: 500 ms).
+    pub shm_wait: SimDuration,
+    /// ptrace hardening (paper: on by default).
+    pub ptrace_hardening: bool,
+    /// Interaction-timestamp propagation across IPC (**P2**). On by
+    /// default; the ablation benches switch it off to measure how much of
+    /// the paper's applicability depends on it. (**P1** — fork
+    /// inheritance — is structural and cannot be disabled.)
+    pub ipc_propagation: bool,
+    /// Queue visual-alert requests on device decisions (on by default; the
+    /// paper suppresses alerts only for clipboard operations, which are
+    /// display-manager territory anyway).
+    pub device_alerts: bool,
+    /// Executable paths allowed to authenticate on the netlink channel.
+    pub trusted_netlink_paths: Vec<String>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            overhaul_enabled: true,
+            monitor: MonitorConfig::default(),
+            shm_wait: SimDuration::from_millis(500),
+            ptrace_hardening: true,
+            ipc_propagation: true,
+            device_alerts: true,
+            trusted_netlink_paths: vec![XORG_PATH.to_string(), UDEV_HELPER_PATH.to_string()],
+        }
+    }
+}
+
+impl KernelConfig {
+    /// The unmodified-Linux baseline used for Table I comparisons.
+    pub fn baseline() -> Self {
+        KernelConfig {
+            overhaul_enabled: false,
+            ..KernelConfig::default()
+        }
+    }
+}
+
+/// The simulated kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    clock: Clock,
+    config: KernelConfig,
+    pub(crate) tasks: ProcessTable,
+    pub(crate) vfs: Vfs,
+    pub(crate) devices: DeviceRegistry,
+    pub(crate) device_map: DeviceMap,
+    pub(crate) monitor: PermissionMonitor,
+    pub(crate) netlink: Netlink,
+    pub(crate) pipes: PipeTable,
+    pub(crate) sockets: SocketTable,
+    pub(crate) msgqueues: MsgQueueTable,
+    pub(crate) shm: ShmTable,
+    pub(crate) mm: MemoryManager,
+    pub(crate) ptys: PtyTable,
+    pub(crate) ptrace: PtracePolicy,
+    pub(crate) audit: AuditLog,
+}
+
+impl Kernel {
+    /// Boots a kernel: process table with init, a VFS with the standard
+    /// directory layout, the trusted binaries installed root-owned, and all
+    /// subsystems configured per `config`.
+    pub fn new(clock: Clock, config: KernelConfig) -> Self {
+        let mut vfs = Vfs::new();
+        // Install the trusted binaries so netlink authentication can verify
+        // superuser ownership of the on-disk images.
+        for path in &config.trusted_netlink_paths {
+            let _ = ensure_parent_dirs(&mut vfs, path);
+            let _ = vfs.create_file(path, Uid::ROOT, 0o755);
+        }
+        Kernel {
+            tasks: ProcessTable::new(),
+            devices: DeviceRegistry::new(),
+            device_map: DeviceMap::new(),
+            monitor: PermissionMonitor::new(config.monitor),
+            netlink: Netlink::new(config.trusted_netlink_paths.clone()),
+            pipes: PipeTable::new(),
+            sockets: SocketTable::new(),
+            msgqueues: MsgQueueTable::new(),
+            shm: ShmTable::new(),
+            mm: MemoryManager::new(config.overhaul_enabled, config.shm_wait),
+            ptys: PtyTable::new(),
+            ptrace: PtracePolicy {
+                hardening_enabled: config.ptrace_hardening,
+            },
+            audit: AuditLog::new(),
+            vfs,
+            clock,
+            config,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Whether Overhaul mediation is active.
+    pub fn overhaul_enabled(&self) -> bool {
+        self.config.overhaul_enabled
+    }
+
+    /// Flips the master switch (baseline vs. protected benchmarking).
+    pub fn set_overhaul_enabled(&mut self, enabled: bool) {
+        self.config.overhaul_enabled = enabled;
+        self.mm.set_interpose(enabled);
+    }
+
+    /// Reconfigures the permission monitor (δ sweeps, grant-all mode).
+    pub fn set_monitor_config(&mut self, monitor: MonitorConfig) {
+        self.config.monitor = monitor;
+        self.monitor.set_config(monitor);
+    }
+
+    /// Reconfigures the shared-memory wait window (ablation sweeps).
+    pub fn set_shm_wait(&mut self, wait: SimDuration) {
+        self.config.shm_wait = wait;
+        self.mm.set_wait_duration(wait);
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Mutable audit log (harnesses append markers).
+    pub fn audit_mut(&mut self) -> &mut AuditLog {
+        &mut self.audit
+    }
+
+    /// Read-only view of the process table.
+    pub fn tasks(&self) -> &ProcessTable {
+        &self.tasks
+    }
+
+    /// Read-only view of the device registry.
+    pub fn devices(&self) -> &DeviceRegistry {
+        &self.devices
+    }
+
+    /// Read-only view of the filesystem.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Permission-monitor counters.
+    pub fn monitor_stats(&self) -> monitor::MonitorStats {
+        self.monitor.stats()
+    }
+
+    /// Memory-manager counters.
+    pub fn mm_stats(&self) -> mm::MmStats {
+        self.mm.stats()
+    }
+
+    /// The kernel-side sensitive-device path map.
+    pub fn device_map(&self) -> &DeviceMap {
+        &self.device_map
+    }
+
+    /// In-kernel display-manager entry point (§III's integrated design):
+    /// records an interaction notification without a channel.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] for dead processes.
+    pub fn record_interaction_direct(&mut self, pid: Pid, at: Timestamp) -> SysResult<bool> {
+        let changed = self.monitor.record_interaction(&mut self.tasks, pid, at)?;
+        if changed {
+            self.audit.record(
+                at,
+                AuditCategory::InteractionNotification,
+                Some(pid),
+                "interaction recorded in task_struct (integrated DM)",
+            );
+        }
+        Ok(changed)
+    }
+
+    /// In-kernel display-manager entry point: answers a permission query
+    /// without a channel. A query about a dead process is a deny.
+    pub fn decide_direct(&mut self, pid: Pid, at: Timestamp, op: ResourceOp) -> Decision {
+        self.decide(pid, at, op)
+    }
+
+    /// Drains pending visual-alert requests without a channel (integrated
+    /// display managers read the monitor's queue in-process).
+    pub fn take_alerts_direct(&mut self) -> Vec<AlertRequest> {
+        self.monitor.take_alerts()
+    }
+
+    /// Harness helper: clears a process's stored interaction timestamp
+    /// (used by chain tests to isolate message-carried propagation from
+    /// fork-inherited credit).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] for unknown processes.
+    pub fn reset_interaction(&mut self, pid: Pid) -> SysResult<()> {
+        self.tasks.get_mut(pid)?.clear_interaction();
+        Ok(())
+    }
+
+    /// Periodic housekeeping: processes the shared-memory wait list.
+    /// Harnesses call this as virtual time advances.
+    pub fn tick(&mut self) {
+        let now = self.clock.now();
+        self.mm.tick(now);
+    }
+
+    // ---------------------------------------------------------------
+    // Device attachment & udev simulation
+    // ---------------------------------------------------------------
+
+    /// Attaches a new hardware device: registers it, creates its `/dev`
+    /// node, and has the trusted helper record the path mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` collides with an existing node (harness bug).
+    pub fn attach_device(&mut self, class: DeviceClass, label: &str, path: &str) -> DeviceId {
+        let device = self.devices.register(class, label);
+        ensure_parent_dirs(&mut self.vfs, path).expect("device path parents");
+        self.vfs
+            .mknod_device(path, device, 0o666)
+            .expect("device node path free");
+        self.device_map.insert(path, device);
+        self.audit.record(
+            self.clock.now(),
+            AuditCategory::Info,
+            None,
+            format!("udev: attached {class} '{label}' at {path}"),
+        );
+        device
+    }
+
+    /// Simulates udev renaming a device node, with the trusted helper
+    /// propagating the change to the kernel map (the normal case).
+    pub fn udev_rename_device(&mut self, old_path: &str, new_path: &str) -> SysResult<()> {
+        self.vfs.rename(old_path, new_path)?;
+        self.device_map.rename(old_path, new_path);
+        self.audit.record(
+            self.clock.now(),
+            AuditCategory::Info,
+            None,
+            format!("udev: renamed {old_path} -> {new_path} (helper synced)"),
+        );
+        Ok(())
+    }
+
+    /// The trusted helper catches up on a rename it previously missed,
+    /// replaying the event into the kernel map (closing the lag window).
+    pub fn device_map_catch_up(&mut self, old_path: &str, new_path: &str) {
+        self.device_map.rename(old_path, new_path);
+        self.audit.record(
+            self.clock.now(),
+            AuditCategory::Info,
+            None,
+            format!("udev: helper caught up {old_path} -> {new_path}"),
+        );
+    }
+
+    /// Simulates udev renaming a device node while the trusted helper is
+    /// *lagging*: the filesystem changes but the kernel map does not. Used
+    /// by tests to demonstrate the design's dependence on the helper.
+    pub fn udev_rename_device_without_helper(
+        &mut self,
+        old_path: &str,
+        new_path: &str,
+    ) -> SysResult<()> {
+        self.vfs.rename(old_path, new_path)?;
+        self.audit.record(
+            self.clock.now(),
+            AuditCategory::Info,
+            None,
+            format!("udev: renamed {old_path} -> {new_path} (helper lagging)"),
+        );
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Netlink: the secure kernel <-> display-manager channel
+    // ---------------------------------------------------------------
+
+    /// Establishes an authenticated netlink connection for `pid`
+    /// (VM-map introspection per §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlink::connect`].
+    pub fn netlink_connect(&mut self, pid: Pid) -> Result<ConnId, NetlinkError> {
+        let conn = self.netlink.connect(&self.tasks, &self.vfs, pid)?;
+        self.audit.record(
+            self.clock.now(),
+            AuditCategory::Info,
+            Some(pid),
+            "netlink: peer authenticated",
+        );
+        Ok(conn)
+    }
+
+    /// Round-trip cost of one netlink exchange: two user/kernel boundary
+    /// crossings plus wakeups. Derived from Table I's clipboard row, where
+    /// the paste-time permission query accounts for ~35 µs of overhead per
+    /// operation on the paper's testbed.
+    pub const NETLINK_RTT_MICROS: u64 = 30;
+
+    /// Handles one userspace→kernel message on an established channel.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlinkError::UnknownConnection`] for unauthenticated senders; the
+    /// per-message semantics never fail (a query about a dead process is
+    /// answered with a deny).
+    pub fn netlink_send(
+        &mut self,
+        conn: ConnId,
+        msg: NetlinkMessage,
+    ) -> Result<NetlinkReply, NetlinkError> {
+        overhaul_sim::work::spin_micros(Self::NETLINK_RTT_MICROS);
+        self.netlink.authenticate(conn)?;
+        match msg {
+            NetlinkMessage::InteractionNotification { pid, at } => {
+                match self.monitor.record_interaction(&mut self.tasks, pid, at) {
+                    Ok(changed) => {
+                        if changed {
+                            self.audit.record(
+                                at,
+                                AuditCategory::InteractionNotification,
+                                Some(pid),
+                                "interaction recorded in task_struct",
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        // Notification for a pid that died in flight: drop.
+                        self.audit.record(
+                            at,
+                            AuditCategory::Info,
+                            Some(pid),
+                            "interaction notification for dead process dropped",
+                        );
+                    }
+                }
+                Ok(NetlinkReply::Ack)
+            }
+            NetlinkMessage::PermissionQuery { pid, op, at } => {
+                let decision = self.decide(pid, at, op);
+                Ok(NetlinkReply::QueryResponse(decision))
+            }
+            NetlinkMessage::DeviceMapUpdate { old_path, new_path } => {
+                if old_path.is_empty() {
+                    // New device: the helper is authoritative for the path,
+                    // but the device must already be registered; unknown
+                    // paths are ignored.
+                } else {
+                    self.device_map.rename(&old_path, &new_path);
+                }
+                Ok(NetlinkReply::Ack)
+            }
+        }
+    }
+
+    /// Drains kernel→userspace pushes (visual-alert requests) for an
+    /// authenticated connection.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlinkError::UnknownConnection`] for unauthenticated callers.
+    pub fn netlink_take_pushes(&mut self, conn: ConnId) -> Result<Vec<KernelPush>, NetlinkError> {
+        self.netlink.authenticate(conn)?;
+        Ok(self
+            .monitor
+            .take_alerts()
+            .into_iter()
+            .map(KernelPush::DisplayAlert)
+            .collect())
+    }
+
+    /// Runs a permission decision for `pid` performing `op` at `at`,
+    /// recording audit events. Used by the device-open path internally and
+    /// by netlink queries from the display manager.
+    pub(crate) fn decide(&mut self, pid: Pid, at: Timestamp, op: ResourceOp) -> Decision {
+        let decision = match self.monitor.check(&self.tasks, pid, at) {
+            Ok(d) => d,
+            Err(_) => Decision {
+                verdict: Verdict::Deny,
+                reason: monitor::DecisionReason::NoInteraction,
+            },
+        };
+        let category = if decision.verdict.is_grant() {
+            AuditCategory::PermissionGranted
+        } else {
+            AuditCategory::PermissionDenied
+        };
+        // Static detail strings keep the mediation hot path allocation-free
+        // (this is the code the Table I device benchmark times).
+        self.audit.record(
+            at,
+            category,
+            Some(pid),
+            decision_detail(op, decision.verdict.is_grant()),
+        );
+        decision
+    }
+
+    /// Queues a device-access visual alert if configured.
+    pub(crate) fn queue_device_alert(
+        &mut self,
+        pid: Pid,
+        op: ResourceOp,
+        granted: bool,
+        at: Timestamp,
+    ) {
+        if !self.config.device_alerts {
+            return;
+        }
+        let process_name = self
+            .tasks
+            .get(pid)
+            .map(|t| t.name().to_string())
+            .unwrap_or_else(|_| "<dead>".to_string());
+        self.monitor.request_alert(AlertRequest {
+            pid,
+            process_name,
+            op,
+            granted,
+            at,
+        });
+    }
+
+    // ---------------------------------------------------------------
+    // procfs
+    // ---------------------------------------------------------------
+
+    /// Reads an Overhaul procfs node.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Enoent`] for unknown nodes.
+    pub fn sys_procfs_read(&self, path: &str) -> SysResult<String> {
+        match path {
+            procfs::PTRACE_HARDENING => Ok(if self.ptrace.hardening_enabled {
+                "1"
+            } else {
+                "0"
+            }
+            .to_string()),
+            procfs::DELTA_MS => Ok(self.config.monitor.delta.as_millis().to_string()),
+            procfs::STATS => {
+                let s = self.monitor.stats();
+                Ok(format!(
+                    "notifications={} grants={} denies={}",
+                    s.notifications, s.grants, s.denies
+                ))
+            }
+            _ => Err(Errno::Enoent),
+        }
+    }
+
+    /// Writes an Overhaul procfs node. Superuser only.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eacces`] for non-root writers, [`Errno::Einval`] for
+    /// malformed values, [`Errno::Enoent`] for unknown nodes.
+    pub fn sys_procfs_write(&mut self, pid: Pid, path: &str, value: &str) -> SysResult<()> {
+        let uid = self.tasks.get(pid)?.uid();
+        if !uid.is_root() {
+            return Err(Errno::Eacces);
+        }
+        match path {
+            procfs::PTRACE_HARDENING => {
+                let enabled = match value.trim() {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(Errno::Einval),
+                };
+                self.ptrace.hardening_enabled = enabled;
+                self.config.ptrace_hardening = enabled;
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::PtraceHardening,
+                    Some(pid),
+                    format!("hardening toggled to {enabled}"),
+                );
+                Ok(())
+            }
+            procfs::DELTA_MS => {
+                let ms: u64 = value.trim().parse().map_err(|_| Errno::Einval)?;
+                let mut cfg = self.config.monitor;
+                cfg.delta = SimDuration::from_millis(ms);
+                self.set_monitor_config(cfg);
+                Ok(())
+            }
+            _ => Err(Errno::Enoent),
+        }
+    }
+}
+
+/// Allocation-free audit detail for a mediation decision.
+fn decision_detail(op: ResourceOp, granted: bool) -> &'static str {
+    match (op, granted) {
+        (ResourceOp::Mic, true) => "op=mic granted",
+        (ResourceOp::Mic, false) => "op=mic denied",
+        (ResourceOp::Cam, true) => "op=cam granted",
+        (ResourceOp::Cam, false) => "op=cam denied",
+        (ResourceOp::Sensor, true) => "op=sensor granted",
+        (ResourceOp::Sensor, false) => "op=sensor denied",
+        (ResourceOp::Screen, true) => "op=scr granted",
+        (ResourceOp::Screen, false) => "op=scr denied",
+        (ResourceOp::Copy, true) => "op=copy granted",
+        (ResourceOp::Copy, false) => "op=copy denied",
+        (ResourceOp::Paste, true) => "op=paste granted",
+        (ResourceOp::Paste, false) => "op=paste denied",
+    }
+}
+
+fn ensure_parent_dirs(vfs: &mut Vfs, path: &str) -> SysResult<()> {
+    let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    let mut prefix = String::new();
+    for component in components.iter().take(components.len().saturating_sub(1)) {
+        prefix.push('/');
+        prefix.push_str(component);
+        if vfs.resolve(&prefix).is_err() {
+            vfs.mkdir(&prefix, Uid::ROOT, 0o755)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(Clock::new(), KernelConfig::default())
+    }
+
+    #[test]
+    fn boot_installs_trusted_binaries_root_owned() {
+        let k = kernel();
+        let stat = k.vfs().stat(XORG_PATH).unwrap();
+        assert!(stat.owner.is_root());
+        assert!(k.vfs().stat(UDEV_HELPER_PATH).is_ok());
+    }
+
+    #[test]
+    fn attach_device_creates_node_and_map_entry() {
+        let mut k = kernel();
+        let id = k.attach_device(DeviceClass::Camera, "webcam", "/dev/video0");
+        assert!(k.vfs().stat("/dev/video0").unwrap().is_device);
+        assert_eq!(k.device_map().lookup("/dev/video0"), Some(id));
+    }
+
+    #[test]
+    fn netlink_round_trip_interaction_and_query() {
+        let mut k = kernel();
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        let t = Timestamp::from_millis(100);
+        let reply = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::InteractionNotification { pid: app, at: t },
+            )
+            .unwrap();
+        assert_eq!(reply, NetlinkReply::Ack);
+        let reply = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::PermissionQuery {
+                    pid: app,
+                    op: ResourceOp::Paste,
+                    at: Timestamp::from_millis(500),
+                },
+            )
+            .unwrap();
+        match reply {
+            NetlinkReply::QueryResponse(d) => assert!(d.verdict.is_grant()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn netlink_rejects_untrusted_connector() {
+        let mut k = kernel();
+        let mallory = k.sys_spawn(Pid::INIT, "/home/mallory/spy").unwrap();
+        assert_eq!(k.netlink_connect(mallory), Err(NetlinkError::UntrustedPeer));
+    }
+
+    #[test]
+    fn query_for_dead_process_is_denied_not_error() {
+        let mut k = kernel();
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        let reply = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::PermissionQuery {
+                    pid: Pid::from_raw(999),
+                    op: ResourceOp::Copy,
+                    at: Timestamp::ZERO,
+                },
+            )
+            .unwrap();
+        match reply {
+            NetlinkReply::QueryResponse(d) => assert!(!d.verdict.is_grant()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn procfs_ptrace_toggle_requires_root() {
+        let mut k = kernel();
+        let user_proc = k
+            .sys_spawn_as(Pid::INIT, "/usr/bin/app", Uid::from_raw(1000))
+            .unwrap();
+        assert_eq!(
+            k.sys_procfs_write(user_proc, procfs::PTRACE_HARDENING, "0"),
+            Err(Errno::Eacces)
+        );
+        assert_eq!(
+            k.sys_procfs_write(Pid::INIT, procfs::PTRACE_HARDENING, "0"),
+            Ok(())
+        );
+        assert_eq!(k.sys_procfs_read(procfs::PTRACE_HARDENING).unwrap(), "0");
+    }
+
+    #[test]
+    fn procfs_delta_write_reconfigures_monitor() {
+        let mut k = kernel();
+        k.sys_procfs_write(Pid::INIT, procfs::DELTA_MS, "750")
+            .unwrap();
+        assert_eq!(k.config().monitor.delta, SimDuration::from_millis(750));
+        assert_eq!(k.sys_procfs_read(procfs::DELTA_MS).unwrap(), "750");
+    }
+
+    #[test]
+    fn unknown_procfs_node_is_enoent() {
+        let k = kernel();
+        assert_eq!(
+            k.sys_procfs_read("/proc/overhaul/bogus").err(),
+            Some(Errno::Enoent)
+        );
+    }
+
+    #[test]
+    fn udev_rename_with_helper_keeps_mediation_map_in_sync() {
+        let mut k = kernel();
+        let id = k.attach_device(DeviceClass::Microphone, "mic", "/dev/snd/mic0");
+        k.udev_rename_device("/dev/snd/mic0", "/dev/snd/mic1")
+            .unwrap();
+        assert_eq!(k.device_map().lookup("/dev/snd/mic1"), Some(id));
+        assert_eq!(k.device_map().lookup("/dev/snd/mic0"), None);
+    }
+
+    #[test]
+    fn lagging_helper_leaves_map_stale() {
+        let mut k = kernel();
+        let id = k.attach_device(DeviceClass::Microphone, "mic", "/dev/snd/mic0");
+        k.udev_rename_device_without_helper("/dev/snd/mic0", "/dev/snd/mic1")
+            .unwrap();
+        assert_eq!(
+            k.device_map().lookup("/dev/snd/mic0"),
+            Some(id),
+            "map is stale"
+        );
+        assert_eq!(k.device_map().lookup("/dev/snd/mic1"), None);
+    }
+}

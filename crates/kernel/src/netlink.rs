@@ -1,0 +1,308 @@
+//! The secure kernel↔display-manager communication channel (§IV-B).
+//!
+//! The prototype used Linux netlink for the channel and solved the
+//! authentication problem by kernel introspection: "it examines the virtual
+//! memory maps to check whether the process it is communicating with is
+//! indeed the X server ... whether the executable code mapped into the
+//! process is loaded from the well-known, and superuser-owned, filesystem
+//! path for the X binaries."
+//!
+//! Here a [`Netlink`] registry tracks connections; [`Netlink::connect`]
+//! performs that introspection against the process table and VFS. Messages
+//! from unauthenticated connections are rejected, which is what the
+//! malicious-interposer tests exercise.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use overhaul_sim::{Pid, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::{AlertRequest, Decision, ResourceOp};
+use crate::process::ProcessTable;
+use crate::vfs::Vfs;
+
+/// Identifier of an established netlink connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(u32);
+
+impl ConnId {
+    /// The raw value.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nl:{}", self.0)
+    }
+}
+
+/// A message sent from userspace to the kernel over the channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetlinkMessage {
+    /// `N_{A,t}`: the display manager authenticated a hardware input event
+    /// delivered to the client owned by `pid` at `at`.
+    InteractionNotification {
+        /// X client process.
+        pid: Pid,
+        /// Event delivery time.
+        at: Timestamp,
+    },
+    /// `Q_{A,t+n}`: may `pid` perform `op` at `at`?
+    PermissionQuery {
+        /// Requesting process.
+        pid: Pid,
+        /// Operation class.
+        op: ResourceOp,
+        /// Operation time.
+        at: Timestamp,
+    },
+    /// The trusted udev helper reports that a sensitive device moved to a
+    /// new filesystem path.
+    DeviceMapUpdate {
+        /// Old node path (empty if the device is new).
+        old_path: String,
+        /// New node path.
+        new_path: String,
+    },
+}
+
+/// The kernel's reply to a [`NetlinkMessage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetlinkReply {
+    /// Message accepted (notifications, map updates).
+    Ack,
+    /// `R_{A,t+n}`: answer to a permission query.
+    QueryResponse(Decision),
+}
+
+/// A message pushed from the kernel to the display manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelPush {
+    /// `V_{A,op}`: render a visual alert.
+    DisplayAlert(AlertRequest),
+}
+
+/// Why a connection attempt or message was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetlinkError {
+    /// The peer process does not exist.
+    NoSuchProcess,
+    /// The peer's executable is not a trusted, superuser-owned binary at a
+    /// well-known path.
+    UntrustedPeer,
+    /// The connection id is not registered.
+    UnknownConnection,
+}
+
+impl fmt::Display for NetlinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetlinkError::NoSuchProcess => "netlink peer process does not exist",
+            NetlinkError::UntrustedPeer => "netlink peer failed VM-map authentication",
+            NetlinkError::UnknownConnection => "unknown netlink connection",
+        })
+    }
+}
+
+impl std::error::Error for NetlinkError {}
+
+#[derive(Debug, Clone)]
+struct Connection {
+    pid: Pid,
+}
+
+/// Registry of authenticated kernel↔userspace channels.
+#[derive(Debug, Clone)]
+pub struct Netlink {
+    connections: BTreeMap<ConnId, Connection>,
+    next: u32,
+    trusted_exe_paths: Vec<String>,
+}
+
+impl Netlink {
+    /// Creates a registry trusting the given executable paths (the X server
+    /// binary, the udev helper).
+    pub fn new(trusted_exe_paths: Vec<String>) -> Self {
+        Netlink {
+            connections: BTreeMap::new(),
+            next: 0,
+            trusted_exe_paths,
+        }
+    }
+
+    /// The trusted executable paths.
+    pub fn trusted_paths(&self) -> &[String] {
+        &self.trusted_exe_paths
+    }
+
+    /// Attempts to establish an authenticated connection for `pid`.
+    ///
+    /// Reproduces the paper's introspection: the peer's mapped executable
+    /// must be one of the well-known trusted paths, and that binary must be
+    /// owned by the superuser in the filesystem (so a user cannot drop a
+    /// fake `Xorg` somewhere and connect).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlinkError::NoSuchProcess`] if `pid` is dead,
+    /// [`NetlinkError::UntrustedPeer`] if introspection fails.
+    pub fn connect(
+        &mut self,
+        tasks: &ProcessTable,
+        vfs: &Vfs,
+        pid: Pid,
+    ) -> Result<ConnId, NetlinkError> {
+        let task = tasks.get(pid).map_err(|_| NetlinkError::NoSuchProcess)?;
+        if !task.is_running() {
+            return Err(NetlinkError::NoSuchProcess);
+        }
+        let exe = task.exe_path();
+        if !self.trusted_exe_paths.iter().any(|p| p == exe) {
+            return Err(NetlinkError::UntrustedPeer);
+        }
+        let owner = vfs
+            .stat(exe)
+            .map_err(|_| NetlinkError::UntrustedPeer)?
+            .owner;
+        if !owner.is_root() {
+            return Err(NetlinkError::UntrustedPeer);
+        }
+        self.next += 1;
+        let id = ConnId(self.next);
+        self.connections.insert(id, Connection { pid });
+        Ok(id)
+    }
+
+    /// The peer pid of an established connection.
+    pub fn peer(&self, conn: ConnId) -> Result<Pid, NetlinkError> {
+        self.connections
+            .get(&conn)
+            .map(|c| c.pid)
+            .ok_or(NetlinkError::UnknownConnection)
+    }
+
+    /// Validates that `conn` is established, returning its peer.
+    pub fn authenticate(&self, conn: ConnId) -> Result<Pid, NetlinkError> {
+        self.peer(conn)
+    }
+
+    /// Tears down a connection (peer exit).
+    pub fn disconnect(&mut self, conn: ConnId) {
+        self.connections.remove(&conn);
+    }
+
+    /// Drops every connection whose peer is no longer running.
+    pub fn reap_dead_peers(&mut self, tasks: &ProcessTable) {
+        self.connections.retain(|_, c| tasks.is_running(c.pid));
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overhaul_sim::Uid;
+
+    const XORG: &str = "/usr/lib/xorg/Xorg";
+
+    fn setup() -> (Netlink, ProcessTable, Vfs) {
+        let netlink = Netlink::new(vec![XORG.to_string()]);
+        let tasks = ProcessTable::new();
+        let mut vfs = Vfs::new();
+        vfs.create_file(XORG, Uid::ROOT, 0o755).unwrap();
+        (netlink, tasks, vfs)
+    }
+
+    #[test]
+    fn trusted_root_owned_binary_connects() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        assert_eq!(netlink.peer(conn).unwrap(), x);
+        assert_eq!(netlink.connection_count(), 1);
+    }
+
+    #[test]
+    fn untrusted_exe_rejected() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let mallory = tasks.spawn(Pid::INIT, "/home/mallory/fake-xorg").unwrap();
+        assert_eq!(
+            netlink.connect(&tasks, &vfs, mallory),
+            Err(NetlinkError::UntrustedPeer)
+        );
+    }
+
+    #[test]
+    fn trusted_path_but_user_owned_binary_rejected() {
+        // A user replacing the binary file (were it user-writable) must not
+        // be able to authenticate: the on-disk binary must be root-owned.
+        let mut netlink = Netlink::new(vec!["/tmp/Xorg".to_string()]);
+        let mut tasks = ProcessTable::new();
+        let mut vfs = Vfs::new();
+        vfs.create_file("/tmp/Xorg", Uid::from_raw(1000), 0o755)
+            .unwrap();
+        let p = tasks.spawn(Pid::INIT, "/tmp/Xorg").unwrap();
+        assert_eq!(
+            netlink.connect(&tasks, &vfs, p),
+            Err(NetlinkError::UntrustedPeer)
+        );
+    }
+
+    #[test]
+    fn missing_binary_rejected() {
+        let (mut netlink, mut tasks, _) = setup();
+        let vfs = Vfs::new(); // no Xorg file on disk
+        let p = tasks.spawn(Pid::INIT, XORG).unwrap();
+        assert_eq!(
+            netlink.connect(&tasks, &vfs, p),
+            Err(NetlinkError::UntrustedPeer)
+        );
+    }
+
+    #[test]
+    fn dead_process_cannot_connect() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        tasks.exit(x, 0).unwrap();
+        assert_eq!(
+            netlink.connect(&tasks, &vfs, x),
+            Err(NetlinkError::NoSuchProcess)
+        );
+    }
+
+    #[test]
+    fn unknown_connection_rejected() {
+        let (netlink, _, _) = setup();
+        assert_eq!(
+            netlink.peer(ConnId(99)),
+            Err(NetlinkError::UnknownConnection)
+        );
+    }
+
+    #[test]
+    fn reap_dead_peers_drops_connections() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        tasks.exit(x, 0).unwrap();
+        netlink.reap_dead_peers(&tasks);
+        assert_eq!(netlink.peer(conn), Err(NetlinkError::UnknownConnection));
+    }
+
+    #[test]
+    fn disconnect_is_idempotent() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        netlink.disconnect(conn);
+        netlink.disconnect(conn);
+        assert_eq!(netlink.connection_count(), 0);
+    }
+}

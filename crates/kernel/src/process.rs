@@ -1,0 +1,331 @@
+//! Process table: creation, exit, reaping, and ancestry queries.
+//!
+//! Overhaul leans on two properties of the Linux process model that this
+//! table reproduces: `fork`/`clone` duplicate the `task_struct` (so the
+//! interaction timestamp propagates to children — policy **P1**), and the
+//! parent/child tree is what constrains `ptrace` ("do not allow attaching to
+//! processes that are not direct descendants of the debugging process").
+
+use std::collections::BTreeMap;
+
+use overhaul_sim::{Pid, Uid};
+
+use crate::error::{Errno, SysResult};
+use crate::task::{FileDescription, Task, TaskState};
+
+/// ```
+/// use overhaul_kernel::process::ProcessTable;
+/// use overhaul_sim::{Pid, Timestamp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tasks = ProcessTable::new();
+/// let parent = tasks.fork(Pid::INIT)?;
+/// tasks.get_mut(parent)?.observe_interaction(Timestamp::from_millis(7));
+/// // P1: the child inherits the parent's interaction timestamp.
+/// let child = tasks.fork(parent)?;
+/// assert_eq!(tasks.get(child)?.interaction(), Some(Timestamp::from_millis(7)));
+/// # Ok(())
+/// # }
+/// ```
+/// The table of all simulated processes.
+#[derive(Debug, Clone)]
+pub struct ProcessTable {
+    tasks: BTreeMap<Pid, Task>,
+    next_pid: u32,
+}
+
+impl Default for ProcessTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessTable {
+    /// Creates a table containing only `init` (pid 1, root,
+    /// `/sbin/init`).
+    pub fn new() -> Self {
+        let mut tasks = BTreeMap::new();
+        tasks.insert(
+            Pid::INIT,
+            Task::new(Pid::INIT, None, Uid::ROOT, "/sbin/init"),
+        );
+        ProcessTable { tasks, next_pid: 2 }
+    }
+
+    /// Looks up a live-or-zombie task.
+    pub fn get(&self, pid: Pid) -> SysResult<&Task> {
+        self.tasks.get(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: Pid) -> SysResult<&mut Task> {
+        self.tasks.get_mut(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Whether `pid` exists and is running.
+    pub fn is_running(&self, pid: Pid) -> bool {
+        self.tasks.get(&pid).map(Task::is_running).unwrap_or(false)
+    }
+
+    /// Iterates over all tasks in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.values()
+    }
+
+    /// Number of tasks (live + zombie).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether only init exists.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.len() <= 1
+    }
+
+    /// Creates a brand-new process that is a child of `parent` running a
+    /// fresh image at `exe_path`. Equivalent to `fork` + `execve` for
+    /// harness convenience; the interaction timestamp still flows from the
+    /// parent per **P1**, and the uid is inherited.
+    pub fn spawn(&mut self, parent: Pid, exe_path: &str) -> SysResult<Pid> {
+        let child = self.fork(parent)?;
+        self.get_mut(child)?.exec(exe_path);
+        Ok(child)
+    }
+
+    /// `fork(2)`: duplicates `parent` into a new child, copying the fd table
+    /// and the interaction timestamp (**P1**).
+    pub fn fork(&mut self, parent: Pid) -> SysResult<Pid> {
+        let parent_task = self.tasks.get(&parent).ok_or(Errno::Esrch)?;
+        if !parent_task.is_running() {
+            return Err(Errno::Esrch);
+        }
+        let child_pid = Pid::from_raw(self.next_pid);
+        self.next_pid += 1;
+        let child = parent_task.fork_into(child_pid);
+        self.tasks.insert(child_pid, child);
+        self.tasks
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .add_child(child_pid);
+        Ok(child_pid)
+    }
+
+    /// `execve(2)`: replaces the image of `pid`. The `task_struct` — and so
+    /// the interaction timestamp — is reused.
+    pub fn exec(&mut self, pid: Pid, exe_path: &str) -> SysResult<()> {
+        let task = self.get_mut(pid)?;
+        if !task.is_running() {
+            return Err(Errno::Esrch);
+        }
+        task.exec(exe_path);
+        Ok(())
+    }
+
+    /// `exit(2)`: marks `pid` a zombie, reparents its children to init, and
+    /// returns the drained file descriptions so the kernel can release the
+    /// backing objects (pipes, sockets, devices...).
+    pub fn exit(&mut self, pid: Pid, code: i32) -> SysResult<Vec<FileDescription>> {
+        if pid == Pid::INIT {
+            return Err(Errno::Eperm);
+        }
+        let (drained, children) = {
+            let task = self.get_mut(pid)?;
+            if !task.is_running() {
+                return Err(Errno::Esrch);
+            }
+            task.set_zombie(code);
+            task.set_traced_by(None);
+            (task.drain_fds(), task.children().to_vec())
+        };
+        for child in children {
+            if let Some(child_task) = self.tasks.get_mut(&child) {
+                child_task.set_ppid(Some(Pid::INIT));
+            }
+            self.tasks
+                .get_mut(&pid)
+                .expect("exists")
+                .remove_child(child);
+            self.tasks
+                .get_mut(&Pid::INIT)
+                .expect("init exists")
+                .add_child(child);
+        }
+        Ok(drained)
+    }
+
+    /// `waitpid(2)`: reaps a zombie child of `parent`, returning its exit
+    /// code, or [`Errno::Eagain`] if the child is still running.
+    pub fn wait(&mut self, parent: Pid, child: Pid) -> SysResult<i32> {
+        let parent_children = self.get(parent)?.children().to_vec();
+        if !parent_children.contains(&child) {
+            return Err(Errno::Esrch);
+        }
+        match self.get(child)?.state() {
+            TaskState::Running => Err(Errno::Eagain),
+            TaskState::Zombie { code } => {
+                self.tasks.remove(&child);
+                self.get_mut(parent)?.remove_child(child);
+                Ok(code)
+            }
+        }
+    }
+
+    /// Whether `candidate` is a (transitive) descendant of `ancestor`.
+    pub fn is_descendant_of(&self, candidate: Pid, ancestor: Pid) -> bool {
+        let mut cursor = candidate;
+        // Bounded walk to guard against (impossible) ppid cycles.
+        for _ in 0..self.tasks.len() + 1 {
+            match self.tasks.get(&cursor).and_then(Task::ppid) {
+                Some(ppid) if ppid == ancestor => return true,
+                Some(ppid) => cursor = ppid,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// Pids of all running tasks.
+    pub fn running_pids(&self) -> Vec<Pid> {
+        self.tasks
+            .values()
+            .filter(|t| t.is_running())
+            .map(Task::pid)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overhaul_sim::Timestamp;
+
+    #[test]
+    fn new_table_has_init() {
+        let table = ProcessTable::new();
+        assert!(table.is_running(Pid::INIT));
+        assert_eq!(table.get(Pid::INIT).unwrap().exe_path(), "/sbin/init");
+    }
+
+    #[test]
+    fn fork_creates_child_with_parent_link() {
+        let mut table = ProcessTable::new();
+        let child = table.fork(Pid::INIT).unwrap();
+        assert_eq!(table.get(child).unwrap().ppid(), Some(Pid::INIT));
+        assert!(table.get(Pid::INIT).unwrap().children().contains(&child));
+    }
+
+    #[test]
+    fn fork_propagates_interaction_p1() {
+        let mut table = ProcessTable::new();
+        let parent = table.fork(Pid::INIT).unwrap();
+        table
+            .get_mut(parent)
+            .unwrap()
+            .observe_interaction(Timestamp::from_millis(77));
+        let child = table.fork(parent).unwrap();
+        assert_eq!(
+            table.get(child).unwrap().interaction(),
+            Some(Timestamp::from_millis(77))
+        );
+    }
+
+    #[test]
+    fn fork_of_dead_parent_fails() {
+        let mut table = ProcessTable::new();
+        let p = table.fork(Pid::INIT).unwrap();
+        table.exit(p, 0).unwrap();
+        assert_eq!(table.fork(p), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn exit_reparents_children_to_init() {
+        let mut table = ProcessTable::new();
+        let parent = table.fork(Pid::INIT).unwrap();
+        let child = table.fork(parent).unwrap();
+        table.exit(parent, 0).unwrap();
+        assert_eq!(table.get(child).unwrap().ppid(), Some(Pid::INIT));
+        assert!(table.get(Pid::INIT).unwrap().children().contains(&child));
+    }
+
+    #[test]
+    fn init_cannot_exit() {
+        let mut table = ProcessTable::new();
+        assert_eq!(table.exit(Pid::INIT, 0), Err(Errno::Eperm));
+    }
+
+    #[test]
+    fn wait_reaps_zombie() {
+        let mut table = ProcessTable::new();
+        let child = table.fork(Pid::INIT).unwrap();
+        assert_eq!(table.wait(Pid::INIT, child), Err(Errno::Eagain));
+        table.exit(child, 42).unwrap();
+        assert_eq!(table.wait(Pid::INIT, child), Ok(42));
+        assert!(table.get(child).is_err(), "reaped task is gone");
+    }
+
+    #[test]
+    fn wait_rejects_non_child() {
+        let mut table = ProcessTable::new();
+        let a = table.fork(Pid::INIT).unwrap();
+        let b = table.fork(a).unwrap();
+        assert_eq!(table.wait(Pid::INIT, b), Err(Errno::Esrch));
+    }
+
+    #[test]
+    fn descendant_query_walks_tree() {
+        let mut table = ProcessTable::new();
+        let a = table.fork(Pid::INIT).unwrap();
+        let b = table.fork(a).unwrap();
+        let c = table.fork(b).unwrap();
+        assert!(table.is_descendant_of(c, a));
+        assert!(table.is_descendant_of(c, Pid::INIT));
+        assert!(!table.is_descendant_of(a, c));
+        assert!(
+            !table.is_descendant_of(a, a),
+            "a process is not its own descendant"
+        );
+    }
+
+    #[test]
+    fn spawn_is_fork_plus_exec() {
+        let mut table = ProcessTable::new();
+        let launcher = table.fork(Pid::INIT).unwrap();
+        table
+            .get_mut(launcher)
+            .unwrap()
+            .observe_interaction(Timestamp::from_millis(5));
+        let shot = table.spawn(launcher, "/usr/bin/shot").unwrap();
+        let task = table.get(shot).unwrap();
+        assert_eq!(task.name(), "shot");
+        assert_eq!(
+            task.interaction(),
+            Some(Timestamp::from_millis(5)),
+            "figure 3: launcher's interaction must reach the spawned program"
+        );
+    }
+
+    #[test]
+    fn exit_drains_fd_table() {
+        let mut table = ProcessTable::new();
+        let p = table.fork(Pid::INIT).unwrap();
+        table
+            .get_mut(p)
+            .unwrap()
+            .install_fd(FileDescription::Regular {
+                inode: crate::vfs::InodeId::from_raw(9),
+            });
+        let drained = table.exit(p, 0).unwrap();
+        assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn running_pids_excludes_zombies() {
+        let mut table = ProcessTable::new();
+        let a = table.fork(Pid::INIT).unwrap();
+        let b = table.fork(Pid::INIT).unwrap();
+        table.exit(a, 0).unwrap();
+        let pids = table.running_pids();
+        assert!(pids.contains(&b));
+        assert!(!pids.contains(&a));
+    }
+}

@@ -1,0 +1,31 @@
+//! Overhaul's procfs nodes.
+//!
+//! The paper exposes a single toggle: ptrace hardening "could be toggled by
+//! the super user through a proc filesystem node to facilitate legitimate
+//! debugging tasks". This reproduction adds a δ tunable and a stats node
+//! for the experiment harnesses. Node I/O happens through
+//! [`crate::Kernel::sys_procfs_read`] / [`crate::Kernel::sys_procfs_write`].
+
+/// Toggle node for ptrace hardening (`"0"` / `"1"`, root-writable).
+pub const PTRACE_HARDENING: &str = "/proc/overhaul/ptrace_hardening";
+
+/// The temporal-proximity threshold δ in milliseconds (root-writable).
+pub const DELTA_MS: &str = "/proc/overhaul/delta_ms";
+
+/// Read-only permission-monitor counters.
+pub const STATS: &str = "/proc/overhaul/stats";
+
+/// All known node paths.
+pub const ALL_NODES: [&str; 3] = [PTRACE_HARDENING, DELTA_MS, STATS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_paths_live_under_proc_overhaul() {
+        for node in ALL_NODES {
+            assert!(node.starts_with("/proc/overhaul/"), "{node}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic simulation substrate for the Overhaul reproduction.
+//!
+//! The original Overhaul prototype (Onarlioglu et al., DSN 2016) patched a
+//! live Linux kernel and the X.Org server. This reproduction executes the
+//! same state machines inside a deterministic user-space simulation; this
+//! crate provides the shared foundation:
+//!
+//! * [`time`] — a virtual clock ([`Clock`]) with millisecond-resolution
+//!   [`Timestamp`]s and [`SimDuration`]s. All temporal-proximity checks
+//!   (the paper's δ threshold) are evaluated against this clock, which makes
+//!   every experiment replayable bit-for-bit.
+//! * [`ids`] — strongly typed identifiers ([`Pid`], [`Uid`], [`Fd`]) shared
+//!   by the kernel and display-manager simulators.
+//! * [`rng`] — a seedable deterministic random source used by workload
+//!   generators.
+//! * [`audit`] — a structured audit log; the permission monitor, the display
+//!   manager, and the experiment harnesses all append here, and the
+//!   evaluation binaries read their results back out of it.
+//!
+//! # Example
+//!
+//! ```
+//! use overhaul_sim::{Clock, SimDuration};
+//!
+//! let clock = Clock::new();
+//! let t0 = clock.now();
+//! clock.advance(SimDuration::from_millis(1500));
+//! assert_eq!(clock.now() - t0, SimDuration::from_millis(1500));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod ids;
+pub mod rng;
+pub mod time;
+pub mod work;
+
+pub use audit::{AuditCategory, AuditEvent, AuditLog};
+pub use ids::{Fd, Pid, Uid};
+pub use rng::SimRng;
+pub use time::{Clock, SimDuration, Timestamp};

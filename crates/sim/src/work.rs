@@ -1,0 +1,60 @@
+//! Calibrated synthetic work.
+//!
+//! The simulator executes in nanoseconds operations that cost microseconds
+//! to milliseconds on a real machine (device driver bring-up, X socket
+//! round trips, netlink context switches, overlay rendering, framebuffer
+//! transfers). Left unmodeled, that asymmetry wildly inflates *relative*
+//! overhead numbers: a 100 ns mediation check looks like +50 % on a 200 ns
+//! simulated `open`, where the paper measured +2.17 % on a 4.5 µs real one.
+//!
+//! [`spin`] busy-waits for a wall-clock duration; the subsystems that
+//! correspond to expensive real-world operations call it with constants
+//! derived from the paper's Table I baseline per-operation times (each
+//! call site documents its derivation). The work applies identically to
+//! baseline and Overhaul configurations, so it calibrates denominators
+//! without manufacturing overheads.
+
+use std::time::{Duration, Instant};
+
+/// Busy-waits for `d` of wall-clock time.
+///
+/// Durations below ~100 ns are not reliably resolvable and may take
+/// slightly longer; all calibrated constants in this workspace are ≥ 1 µs.
+pub fn spin(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// [`spin`] for a duration given in microseconds.
+pub fn spin_micros(micros: u64) {
+    spin(Duration::from_micros(micros));
+}
+
+/// [`spin`] for a duration given in nanoseconds.
+pub fn spin_nanos(nanos: u64) {
+    spin(Duration::from_nanos(nanos));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_takes_at_least_the_requested_time() {
+        let start = Instant::now();
+        spin(Duration::from_micros(200));
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn zero_spin_returns_immediately() {
+        let start = Instant::now();
+        spin(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+}

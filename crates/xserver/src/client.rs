@@ -1,0 +1,252 @@
+//! Connected X clients and their event queues.
+//!
+//! Each client connection is bound to a kernel process id: "The PID serves
+//! as an unforgeable binding between a window belonging to a process and
+//! events, as the mapping between X client sockets and the PID is retrieved
+//! from the kernel" (§IV-A). In this simulation the core crate performs
+//! that retrieval when it connects an application process to the X server.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use overhaul_sim::Pid;
+
+use crate::protocol::{ClientId, XError, XEvent};
+use crate::window::WindowId;
+
+/// One connected client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    id: ClientId,
+    pid: Pid,
+    events: VecDeque<XEvent>,
+    property_watches: BTreeSet<WindowId>,
+}
+
+impl Client {
+    /// Client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The kernel process behind this connection.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Events waiting for delivery.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the client subscribed to property events on `window`.
+    pub fn watches_properties_of(&self, window: WindowId) -> bool {
+        self.property_watches.contains(&window)
+    }
+}
+
+/// Registry of connected clients.
+#[derive(Debug, Clone, Default)]
+pub struct ClientRegistry {
+    clients: BTreeMap<ClientId, Client>,
+    next: u32,
+}
+
+impl ClientRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ClientRegistry::default()
+    }
+
+    /// Accepts a connection from the process `pid` (the pid is resolved
+    /// from the client socket by the kernel, not claimed by the client).
+    pub fn connect(&mut self, pid: Pid) -> ClientId {
+        self.next += 1;
+        let id = ClientId::from_raw(self.next);
+        self.clients.insert(
+            id,
+            Client {
+                id,
+                pid,
+                events: VecDeque::new(),
+                property_watches: BTreeSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Disconnects a client.
+    pub fn disconnect(&mut self, id: ClientId) -> Result<(), XError> {
+        self.clients
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(XError::BadClient)
+    }
+
+    /// Looks up a client.
+    pub fn get(&self, id: ClientId) -> Result<&Client, XError> {
+        self.clients.get(&id).ok_or(XError::BadClient)
+    }
+
+    /// The pid bound to a client.
+    pub fn pid_of(&self, id: ClientId) -> Result<Pid, XError> {
+        Ok(self.get(id)?.pid())
+    }
+
+    /// The (first) client bound to `pid`, if connected.
+    pub fn client_of_pid(&self, pid: Pid) -> Option<ClientId> {
+        self.clients.values().find(|c| c.pid == pid).map(|c| c.id)
+    }
+
+    /// Queues an event for delivery to a client.
+    pub fn deliver(&mut self, id: ClientId, event: XEvent) -> Result<(), XError> {
+        self.clients
+            .get_mut(&id)
+            .ok_or(XError::BadClient)?
+            .events
+            .push_back(event);
+        Ok(())
+    }
+
+    /// Pops the next pending event for a client.
+    pub fn next_event(&mut self, id: ClientId) -> Result<Option<XEvent>, XError> {
+        Ok(self
+            .clients
+            .get_mut(&id)
+            .ok_or(XError::BadClient)?
+            .events
+            .pop_front())
+    }
+
+    /// Drains all pending events for a client.
+    pub fn drain_events(&mut self, id: ClientId) -> Result<Vec<XEvent>, XError> {
+        let client = self.clients.get_mut(&id).ok_or(XError::BadClient)?;
+        Ok(client.events.drain(..).collect())
+    }
+
+    /// Subscribes `id` to property events on `window`.
+    pub fn watch_properties(&mut self, id: ClientId, window: WindowId) -> Result<(), XError> {
+        self.clients
+            .get_mut(&id)
+            .ok_or(XError::BadClient)?
+            .property_watches
+            .insert(window);
+        Ok(())
+    }
+
+    /// All clients watching properties of `window`.
+    pub fn property_watchers(&self, window: WindowId) -> Vec<ClientId> {
+        self.clients
+            .values()
+            .filter(|c| c.property_watches.contains(&window))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// All connected client ids.
+    pub fn ids(&self) -> Vec<ClientId> {
+        self.clients.keys().copied().collect()
+    }
+
+    /// Number of connected clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no clients are connected.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Atom, InputPayload};
+
+    #[test]
+    fn connect_binds_pid() {
+        let mut reg = ClientRegistry::new();
+        let c = reg.connect(Pid::from_raw(44));
+        assert_eq!(reg.pid_of(c).unwrap(), Pid::from_raw(44));
+        assert_eq!(reg.client_of_pid(Pid::from_raw(44)), Some(c));
+        assert_eq!(reg.client_of_pid(Pid::from_raw(45)), None);
+    }
+
+    #[test]
+    fn events_queue_in_order() {
+        let mut reg = ClientRegistry::new();
+        let c = reg.connect(Pid::from_raw(1));
+        let w = WindowId::from_raw(1);
+        reg.deliver(
+            c,
+            XEvent::Input {
+                window: w,
+                payload: InputPayload::Key { ch: 'a' },
+                synthetic: false,
+            },
+        )
+        .unwrap();
+        reg.deliver(
+            c,
+            XEvent::SelectionClear {
+                selection: Atom::clipboard(),
+            },
+        )
+        .unwrap();
+        assert_eq!(reg.get(c).unwrap().pending_events(), 2);
+        assert!(matches!(
+            reg.next_event(c).unwrap(),
+            Some(XEvent::Input { .. })
+        ));
+        assert!(matches!(
+            reg.next_event(c).unwrap(),
+            Some(XEvent::SelectionClear { .. })
+        ));
+        assert_eq!(reg.next_event(c).unwrap(), None);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let mut reg = ClientRegistry::new();
+        let c = reg.connect(Pid::from_raw(1));
+        reg.deliver(
+            c,
+            XEvent::SelectionClear {
+                selection: Atom::primary(),
+            },
+        )
+        .unwrap();
+        assert_eq!(reg.drain_events(c).unwrap().len(), 1);
+        assert_eq!(reg.get(c).unwrap().pending_events(), 0);
+    }
+
+    #[test]
+    fn disconnect_removes_client() {
+        let mut reg = ClientRegistry::new();
+        let c = reg.connect(Pid::from_raw(1));
+        reg.disconnect(c).unwrap();
+        assert_eq!(reg.get(c).err(), Some(XError::BadClient));
+        assert_eq!(reg.disconnect(c), Err(XError::BadClient));
+    }
+
+    #[test]
+    fn property_watch_bookkeeping() {
+        let mut reg = ClientRegistry::new();
+        let a = reg.connect(Pid::from_raw(1));
+        let b = reg.connect(Pid::from_raw(2));
+        let w = WindowId::from_raw(9);
+        reg.watch_properties(a, w).unwrap();
+        assert!(reg.get(a).unwrap().watches_properties_of(w));
+        assert!(!reg.get(b).unwrap().watches_properties_of(w));
+        assert_eq!(reg.property_watchers(w), vec![a]);
+    }
+
+    #[test]
+    fn two_connections_same_pid_are_distinct_clients() {
+        let mut reg = ClientRegistry::new();
+        let a = reg.connect(Pid::from_raw(7));
+        let b = reg.connect(Pid::from_raw(7));
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+    }
+}

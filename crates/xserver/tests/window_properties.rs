@@ -1,0 +1,163 @@
+//! Property-based tests for the window tree and geometry — invariants the
+//! clickjacking defense depends on.
+
+use overhaul_sim::Timestamp;
+use overhaul_xserver::geometry::{Point, Rect};
+use overhaul_xserver::protocol::ClientId;
+use overhaul_xserver::window::{WindowTree, OCCLUSION_LIMIT};
+use proptest::prelude::*;
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (-50i32..200, -50i32..200, 1u32..150, 1u32..150).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Create(u32, Rect),
+    MapLast,
+    UnmapLast,
+    RaiseFirst,
+    DestroyLast,
+}
+
+fn op_strategy() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (1u32..4, rect_strategy()).prop_map(|(c, r)| TreeOp::Create(c, r)),
+        Just(TreeOp::MapLast),
+        Just(TreeOp::UnmapLast),
+        Just(TreeOp::RaiseFirst),
+        Just(TreeOp::DestroyLast),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coverage is always a fraction in [0, 1].
+    #[test]
+    fn coverage_is_a_fraction(target in rect_strategy(),
+                              covers in prop::collection::vec(rect_strategy(), 0..6)) {
+        let c = target.coverage_by(&covers);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c), "{c}");
+    }
+
+    /// Adding more covering rectangles never decreases coverage.
+    #[test]
+    fn coverage_is_monotone(target in rect_strategy(),
+                            covers in prop::collection::vec(rect_strategy(), 1..6)) {
+        let partial = target.coverage_by(&covers[..covers.len() - 1]);
+        let full = target.coverage_by(&covers);
+        prop_assert!(full + 1e-9 >= partial);
+    }
+
+    /// Intersection is symmetric and contained in both operands.
+    #[test]
+    fn intersection_is_symmetric_and_contained(a in rect_strategy(), b in rect_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(i.area() <= a.area());
+            prop_assert!(i.area() <= b.area());
+            prop_assert!(i.x >= a.x && i.right() <= a.right());
+            prop_assert!(i.y >= b.y.min(a.y).max(i.y));
+        }
+    }
+
+    /// Tree invariants under arbitrary operation sequences:
+    /// * `topmost_at` only ever returns a mapped window containing the point;
+    /// * a visible window is always mapped;
+    /// * an unoccluded mapped window is always visible.
+    #[test]
+    fn tree_invariants(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut tree = WindowTree::new();
+        let mut ids = Vec::new();
+        let mut now = Timestamp::ZERO;
+        for op in ops {
+            now = Timestamp::from_millis(now.as_millis() + 10);
+            match op {
+                TreeOp::Create(client, rect) => {
+                    ids.push(tree.create(ClientId::from_raw(client), rect));
+                }
+                TreeOp::MapLast => {
+                    if let Some(id) = ids.last() {
+                        let _ = tree.map(*id, now);
+                    }
+                }
+                TreeOp::UnmapLast => {
+                    if let Some(id) = ids.last() {
+                        let _ = tree.unmap(*id, now);
+                    }
+                }
+                TreeOp::RaiseFirst => {
+                    if let Some(id) = ids.first() {
+                        let _ = tree.raise(*id, now);
+                    }
+                }
+                TreeOp::DestroyLast => {
+                    if let Some(id) = ids.pop() {
+                        let _ = tree.destroy(id, now);
+                    }
+                }
+            }
+        }
+        // Hit tests return mapped windows containing the probe point.
+        for probe in [Point::new(0, 0), Point::new(50, 50), Point::new(120, 30)] {
+            if let Some(hit) = tree.topmost_at(probe) {
+                let window = tree.get(hit).unwrap();
+                prop_assert!(window.mapped());
+                prop_assert!(window.rect().contains(probe));
+            }
+        }
+        // Visibility implies mapped; unoccluded implies visible.
+        let order: Vec<_> = tree.stacking_order().to_vec();
+        for (index, id) in order.iter().enumerate() {
+            let Ok(window) = tree.get(*id) else { continue };
+            if window.visible_since().is_some() {
+                prop_assert!(window.mapped(), "{id} visible but unmapped");
+            }
+            if window.mapped() && window.rect().area() > 0 {
+                let covers: Vec<Rect> = order[index + 1..]
+                    .iter()
+                    .filter_map(|above| tree.get(*above).ok())
+                    .filter(|w| w.mapped())
+                    .map(|w| w.rect())
+                    .collect();
+                let coverage = window.rect().coverage_by(&covers);
+                if coverage <= OCCLUSION_LIMIT {
+                    prop_assert!(
+                        window.visible_since().is_some(),
+                        "{id} unoccluded ({coverage}) but invisible"
+                    );
+                } else {
+                    prop_assert!(
+                        window.visible_since().is_none(),
+                        "{id} occluded ({coverage}) but visible"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `visible_since` never moves backwards while a window stays visible.
+    #[test]
+    fn visibility_clock_is_stable(raises in prop::collection::vec(0usize..3, 1..10)) {
+        let mut tree = WindowTree::new();
+        let solo = tree.create(ClientId::from_raw(1), Rect::new(0, 0, 50, 50));
+        // Disjoint windows: raising them never occludes `solo`.
+        let others = [
+            tree.create(ClientId::from_raw(2), Rect::new(100, 0, 50, 50)),
+            tree.create(ClientId::from_raw(3), Rect::new(200, 0, 50, 50)),
+            tree.create(ClientId::from_raw(4), Rect::new(300, 0, 50, 50)),
+        ];
+        let mut now = Timestamp::from_millis(10);
+        tree.map(solo, now).unwrap();
+        for other in others {
+            tree.map(other, now).unwrap();
+        }
+        let since = tree.get(solo).unwrap().visible_since().unwrap();
+        for raise in raises {
+            now = Timestamp::from_millis(now.as_millis() + 100);
+            tree.raise(others[raise], now).unwrap();
+            prop_assert_eq!(tree.get(solo).unwrap().visible_since(), Some(since));
+        }
+    }
+}

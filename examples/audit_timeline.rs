@@ -1,0 +1,47 @@
+//! Forensic timeline: replay a short session and print the merged
+//! kernel + display-manager audit log, the way §V-C/§V-D investigations
+//! read Overhaul's logs.
+//!
+//! ```text
+//! cargo run -p overhaul-apps --example audit_timeline
+//! ```
+
+use overhaul_core::{timeline, System};
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, Request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = System::protected();
+
+    // A short session: a recorder the user actually uses, plus a spy.
+    let recorder = machine.launch_gui_app("/usr/bin/recorder", Rect::new(0, 0, 300, 200))?;
+    machine.settle();
+    machine.click_window(recorder.window);
+    machine.advance(SimDuration::from_millis(120));
+    let fd = machine.open_device(recorder.pid, "/dev/snd/mic0")?;
+    machine.kernel_mut().sys_close(recorder.pid, fd)?;
+    machine
+        .x_request(
+            recorder.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: recorder.window,
+            },
+        )
+        .ok();
+
+    machine.advance(SimDuration::from_secs(30));
+    let spy = machine.spawn_process(None, "/usr/bin/.spy")?;
+    let _ = machine.open_device(spy, "/dev/video0");
+    let spy_client = machine.connect_x(spy);
+    let _ = machine.x_request(spy_client, Request::GetImage { window: None });
+
+    let entries = timeline::merge(&machine);
+    println!("=== full merged timeline ({} events) ===", entries.len());
+    println!("{}", timeline::render(&entries, None));
+
+    println!("\n=== spy-only view ({}) ===", spy);
+    println!("{}", timeline::render(&entries, Some(spy)));
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Clipboard protection: a password manager vs. a clipboard sniffer.
+//!
+//! Runs the same scenario on a protected and an unprotected machine: the
+//! user copies a master password from the password manager and pastes it
+//! into the browser; a background sniffer repeatedly tries to paste the
+//! clipboard for itself (and to bypass the protocol with a forged
+//! `SelectionRequest`).
+//!
+//! ```text
+//! cargo run -p overhaul-apps --example clipboard_protection
+//! ```
+
+use overhaul_apps::malware::{answer_selection_requests, selection_bypass_attack};
+use overhaul_core::System;
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, Reply, Request, XEvent};
+
+const SECRET: &[u8] = b"correct-horse-battery-staple";
+
+fn scenario(mut machine: System, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {label} ===");
+    let manager = machine.launch_gui_app("/usr/bin/keepassx", Rect::new(0, 0, 300, 200))?;
+    let browser = machine.launch_gui_app("/usr/bin/firefox", Rect::new(400, 0, 600, 400))?;
+    machine.settle();
+
+    // The user copies the password (Ctrl-C after a click).
+    machine.click_window(manager.window);
+    machine
+        .x_request(
+            manager.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: manager.window,
+            },
+        )
+        .map_err(|e| format!("copy failed: {e}"))?;
+    println!("user copied the master password from keepassx");
+
+    // ...and pastes it into the browser.
+    machine.advance(SimDuration::from_millis(500));
+    machine.click_window(browser.window);
+    machine
+        .x_request(
+            browser.client,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: browser.window,
+                property: Atom::new("XSEL_DATA"),
+            },
+        )
+        .map_err(|e| format!("paste failed: {e}"))?;
+    answer_selection_requests(&mut machine, manager.client, SECRET);
+    let notify = machine
+        .xserver_mut()
+        .drain_events(browser.client)?
+        .into_iter()
+        .find_map(|e| match e {
+            XEvent::SelectionNotify { property, .. } => Some(property),
+            _ => None,
+        });
+    if let Some(property) = notify {
+        if let Reply::Property(Some(data)) = machine.x_request(
+            browser.client,
+            Request::GetProperty {
+                window: browser.window,
+                property,
+                delete: true,
+            },
+        )? {
+            println!("browser pasted: {:?}", String::from_utf8_lossy(&data));
+        }
+    }
+
+    // The user copies again (so the clipboard is "hot"), then the sniffer
+    // strikes from the background.
+    machine.click_window(manager.window);
+    machine
+        .x_request(
+            manager.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: manager.window,
+            },
+        )
+        .map_err(|e| format!("re-copy failed: {e}"))?;
+    machine.advance(SimDuration::from_secs(30));
+
+    let sniffer = machine.spawn_process(None, "/usr/bin/.sniffer")?;
+    let sniffer_client = machine.connect_x(sniffer);
+    let sniffer_window = match machine.x_request(
+        sniffer_client,
+        Request::CreateWindow {
+            rect: Rect::new(0, 0, 1, 1),
+        },
+    )? {
+        Reply::Window(w) => w,
+        _ => unreachable!(),
+    };
+
+    // Attack 1: plain paste without user input.
+    match machine.x_request(
+        sniffer_client,
+        Request::ConvertSelection {
+            selection: Atom::clipboard(),
+            requestor: sniffer_window,
+            property: Atom::new("LOOT"),
+        },
+    ) {
+        Ok(_) => {
+            answer_selection_requests(&mut machine, manager.client, SECRET);
+            match machine.x_request(
+                sniffer_client,
+                Request::GetProperty {
+                    window: sniffer_window,
+                    property: Atom::new("LOOT"),
+                    delete: true,
+                },
+            )? {
+                Reply::Property(Some(data)) => {
+                    println!(
+                        "sniffer paste attack: STOLE {:?}",
+                        String::from_utf8_lossy(&data)
+                    )
+                }
+                _ => println!("sniffer paste attack: got nothing"),
+            }
+        }
+        Err(e) => println!("sniffer paste attack: blocked ({e})"),
+    }
+
+    // Attack 2: the forged-SelectionRequest protocol bypass.
+    match selection_bypass_attack(
+        &mut machine,
+        sniffer,
+        manager.client,
+        manager.window,
+        SECRET,
+    ) {
+        Some(data) => println!(
+            "protocol bypass attack: STOLE {:?}",
+            String::from_utf8_lossy(&data)
+        ),
+        None => println!("protocol bypass attack: blocked"),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    scenario(System::protected(), "OVERHAUL-protected machine")?;
+    scenario(System::baseline(), "unprotected machine")?;
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Figure 4: a multi-process browser runs a web video-chat app.
+//!
+//! The user clicks the *main* browser window, but the *tab* process — which
+//! has never received input and was forked long ago — is the one that opens
+//! the camera, commanded over shared-memory IPC. Overhaul's P2 propagation
+//! (page-fault interposition on the shared mapping) carries the interaction
+//! timestamp across.
+//!
+//! ```text
+//! cargo run -p overhaul-apps --example multiprocess_browser
+//! ```
+
+use overhaul_core::System;
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = System::protected();
+    let browser = machine.launch_gui_app("/usr/bin/chromium", Rect::new(0, 0, 1024, 700))?;
+
+    // Browser architecture: main process + tab process sharing memory.
+    let kernel = machine.kernel_mut();
+    let shm = kernel.sys_shmget(browser.pid, 0xbeef, 16)?;
+    let main_vma = kernel.sys_shmat(browser.pid, shm)?;
+    let tab = kernel.sys_fork(browser.pid)?;
+    kernel.sys_execve(tab, "/usr/bin/chromium-tab")?;
+    let tab_vma = kernel.sys_shmat(tab, shm)?;
+    println!(
+        "browser main = {}, tab = {tab}, shared segment mapped in both",
+        browser.pid
+    );
+
+    // The tab idles long enough that anything inherited via fork expires.
+    machine.advance(SimDuration::from_secs(30));
+    machine.settle();
+
+    // Without the user doing anything, the tab cannot touch the camera.
+    match machine.open_device(tab, "/dev/video0") {
+        Err(e) => println!("tab camera open before any click: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    // (1) The user clicks "Start video call" on the *main* window.
+    machine.click_window(browser.window);
+    println!("user clicked the main browser window");
+
+    // (4) Main writes the command into shared memory; the write faults and
+    // embeds the interaction timestamp into the segment.
+    machine
+        .kernel_mut()
+        .sys_shm_write(browser.pid, main_vma, 0, b"start-video")?;
+    // The tab reads the command; the read faults and adopts the timestamp.
+    let cmd = machine.kernel_mut().sys_shm_read(tab, tab_vma, 0, 11)?;
+    println!("tab received over shm: {:?}", String::from_utf8_lossy(&cmd));
+
+    // (5) Now the tab's camera request correlates with the user's click.
+    let fd = machine.open_device(tab, "/dev/video0")?;
+    let frame = machine.kernel_mut().sys_read(tab, fd, 64)?;
+    println!("tab opened the camera: {}", String::from_utf8_lossy(&frame));
+    println!("\nkernel propagation events:");
+    for event in machine
+        .kernel_audit()
+        .in_category(overhaul_sim::AuditCategory::InteractionPropagated)
+    {
+        println!("  {event}");
+    }
+    Ok(())
+}

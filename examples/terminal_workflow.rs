@@ -1,0 +1,62 @@
+//! CLI interactions (§IV-B): `xterm` → `bash` → `scrot` over a
+//! pseudo-terminal.
+//!
+//! The shell never receives X input events — only bytes through the pty —
+//! yet the screenshot tool it launches must be able to capture the screen
+//! right after the user typed the command. Overhaul propagates the
+//! terminal emulator's interaction timestamp through the pseudo-terminal
+//! device driver.
+//!
+//! ```text
+//! cargo run -p overhaul-apps --example terminal_workflow
+//! ```
+
+use overhaul_core::System;
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Reply, Request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = System::protected();
+
+    // Terminal emulator with a pty pair; bash on the slave side.
+    let xterm = machine.launch_gui_app("/usr/bin/xterm", Rect::new(0, 0, 640, 400))?;
+    let (master, slave) = machine.kernel_mut().sys_openpty(xterm.pid)?;
+    let bash = machine.kernel_mut().sys_fork(xterm.pid)?;
+    machine.kernel_mut().sys_execve(bash, "/bin/bash")?;
+    machine.advance(SimDuration::from_secs(20)); // shell idles
+    machine.settle();
+
+    // A cron-ish job under the idle shell gets nothing.
+    let stale = machine.kernel_mut().sys_spawn(bash, "/usr/bin/scrot")?;
+    let stale_client = machine.connect_x(stale);
+    match machine.x_request(stale_client, Request::GetImage { window: None }) {
+        Err(e) => println!("scrot from an idle shell: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    // The user clicks into the terminal and types `scrot`.
+    machine.click_window(xterm.window);
+    machine
+        .kernel_mut()
+        .sys_write(xterm.pid, master, b"scrot\n")?;
+    let line = machine.kernel_mut().sys_read(bash, slave, 64)?;
+    println!("bash read from pty: {:?}", String::from_utf8_lossy(&line));
+
+    // bash forks scrot, which captures the screen.
+    let scrot = machine.kernel_mut().sys_spawn(bash, "/usr/bin/scrot")?;
+    let scrot_client = machine.connect_x(scrot);
+    match machine.x_request(scrot_client, Request::GetImage { window: None })? {
+        Reply::Image(pixels) => println!("scrot captured the screen: {} pixels", pixels.len()),
+        other => unreachable!("{other:?}"),
+    }
+    println!(
+        "alert shown: {}",
+        machine
+            .alert_history()
+            .last()
+            .expect("screen alert")
+            .render()
+    );
+    Ok(())
+}

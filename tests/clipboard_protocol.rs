@@ -1,0 +1,356 @@
+//! Figure 6: the 13-step ICCCM copy & paste protocol with Overhaul's
+//! modifications (bold steps), plus the bypass attacks §IV-A describes.
+
+use overhaul_core::{Gui, System};
+use overhaul_sim::{AuditCategory, SimDuration};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, Reply, Request, XError, XEvent};
+
+fn two_apps(machine: &mut System) -> (Gui, Gui) {
+    let source = machine
+        .launch_gui_app("/usr/bin/source-editor", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    let target = machine
+        .launch_gui_app("/usr/bin/target-editor", Rect::new(200, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+    (source, target)
+}
+
+#[test]
+fn figure6_full_protocol_trace() {
+    let mut machine = System::protected();
+    let (source, target) = two_apps(&mut machine);
+    let selection = Atom::clipboard();
+    let property = Atom::new("XSEL_DATA");
+
+    // Step (1): copy initiated by hardware input. [bold]
+    machine.click_window(source.window);
+    // Steps (2)-(4): SetSelection, checked against the monitor. [bold]
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: selection.clone(),
+                window: source.window,
+            },
+        )
+        .expect("step 2 granted");
+    match machine
+        .x_request(
+            source.client,
+            Request::GetSelectionOwner {
+                selection: selection.clone(),
+            },
+        )
+        .unwrap()
+    {
+        Reply::SelectionOwner(owner) => assert_eq!(owner, Some(source.client), "steps 3-4"),
+        other => panic!("{other:?}"),
+    }
+
+    // Step (5): paste initiated by hardware input. [bold]
+    machine.click_window(target.window);
+    // Step (6): ConvertSelection, checked against the monitor. [bold]
+    machine
+        .x_request(
+            target.client,
+            Request::ConvertSelection {
+                selection: selection.clone(),
+                requestor: target.window,
+                property: property.clone(),
+            },
+        )
+        .expect("step 6 granted");
+
+    // Step (7): the server relays SelectionRequest to the source.
+    let relayed = machine
+        .xserver_mut()
+        .drain_events(source.client)
+        .unwrap()
+        .into_iter()
+        .find_map(|e| match e {
+            XEvent::SelectionRequest {
+                requestor,
+                property,
+                ..
+            } => Some((requestor, property)),
+            _ => None,
+        })
+        .expect("step 7");
+    assert_eq!(relayed.0, target.window);
+
+    // Step (8): the source stores the data with ChangeProperty.
+    machine
+        .x_request(
+            target.client,
+            Request::GetProperty {
+                window: target.window,
+                property: property.clone(),
+                delete: false,
+            },
+        )
+        .map(|r| assert_eq!(r, Reply::Property(None), "no data before step 8"))
+        .unwrap();
+    machine
+        .x_request(
+            source.client,
+            Request::ChangeProperty {
+                window: relayed.0,
+                property: relayed.1.clone(),
+                data: b"copied!".to_vec(),
+            },
+        )
+        .expect("step 8");
+
+    // Steps (9)-(10): SelectionNotify via SendEvent reaches the target.
+    machine
+        .x_request(
+            source.client,
+            Request::SendEvent {
+                target: relayed.0,
+                event: Box::new(XEvent::SelectionNotify {
+                    selection: selection.clone(),
+                    property: relayed.1.clone(),
+                }),
+            },
+        )
+        .expect("step 9");
+    let notified = machine
+        .xserver_mut()
+        .drain_events(target.client)
+        .unwrap()
+        .into_iter()
+        .any(|e| matches!(e, XEvent::SelectionNotify { .. }));
+    assert!(notified, "step 10");
+
+    // Steps (11)-(13): the target retrieves and deletes the property.
+    match machine
+        .x_request(
+            target.client,
+            Request::GetProperty {
+                window: target.window,
+                property: property.clone(),
+                delete: true,
+            },
+        )
+        .unwrap()
+    {
+        Reply::Property(Some(data)) => assert_eq!(data, b"copied!"),
+        other => panic!("steps 11-12 failed: {other:?}"),
+    }
+    match machine
+        .x_request(
+            target.client,
+            Request::GetProperty {
+                window: target.window,
+                property,
+                delete: false,
+            },
+        )
+        .unwrap()
+    {
+        Reply::Property(None) => {} // step 13: data removed
+        other => panic!("step 13 failed: {other:?}"),
+    }
+}
+
+#[test]
+fn copy_without_input_gets_bad_access() {
+    let mut machine = System::protected();
+    let (source, _) = two_apps(&mut machine);
+    // No click: step 2 is rejected with the X error an unmodified client
+    // already understands.
+    assert_eq!(
+        machine.x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window
+            },
+        ),
+        Err(XError::BadAccess)
+    );
+}
+
+#[test]
+fn stale_input_expires_for_paste() {
+    let mut machine = System::protected();
+    let (source, target) = two_apps(&mut machine);
+    machine.click_window(source.window);
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window,
+            },
+        )
+        .unwrap();
+    machine.click_window(target.window);
+    machine.advance(SimDuration::from_secs(5));
+    assert_eq!(
+        machine.x_request(
+            target.client,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: target.window,
+                property: Atom::new("P"),
+            },
+        ),
+        Err(XError::BadAccess)
+    );
+}
+
+#[test]
+fn forged_selection_request_attack_blocked_end_to_end() {
+    let mut machine = System::protected();
+    let (source, _) = two_apps(&mut machine);
+    machine.click_window(source.window);
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window,
+            },
+        )
+        .unwrap();
+
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    let spy_client = machine.connect_x(spy);
+    let spy_window = match machine
+        .x_request(
+            spy_client,
+            Request::CreateWindow {
+                rect: Rect::new(0, 0, 1, 1),
+            },
+        )
+        .unwrap()
+    {
+        Reply::Window(w) => w,
+        _ => unreachable!(),
+    };
+    assert_eq!(
+        machine.x_request(
+            spy_client,
+            Request::SendEvent {
+                target: source.window,
+                event: Box::new(XEvent::SelectionRequest {
+                    selection: Atom::clipboard(),
+                    requestor: spy_window,
+                    property: Atom::new("LOOT"),
+                }),
+            },
+        ),
+        Err(XError::BadAccess)
+    );
+    assert!(
+        machine
+            .x_audit()
+            .count(AuditCategory::ProtocolAttackBlocked)
+            >= 1
+    );
+}
+
+#[test]
+fn in_flight_property_is_target_only() {
+    let mut machine = System::protected();
+    let (source, target) = two_apps(&mut machine);
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    let spy_client = machine.connect_x(spy);
+
+    machine.click_window(source.window);
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window,
+            },
+        )
+        .unwrap();
+    machine.click_window(target.window);
+    machine
+        .x_request(
+            target.client,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: target.window,
+                property: Atom::new("XSEL_DATA"),
+            },
+        )
+        .unwrap();
+    machine
+        .x_request(
+            source.client,
+            Request::ChangeProperty {
+                window: target.window,
+                property: Atom::new("XSEL_DATA"),
+                data: b"pw".to_vec(),
+            },
+        )
+        .unwrap();
+    // The spy cannot read the in-flight data.
+    assert_eq!(
+        machine.x_request(
+            spy_client,
+            Request::GetProperty {
+                window: target.window,
+                property: Atom::new("XSEL_DATA"),
+                delete: false
+            },
+        ),
+        Err(XError::BadAccess)
+    );
+    // After the target consumes it, the property is gone anyway.
+    machine
+        .x_request(
+            target.client,
+            Request::GetProperty {
+                window: target.window,
+                property: Atom::new("XSEL_DATA"),
+                delete: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        machine.x_request(
+            spy_client,
+            Request::GetProperty {
+                window: target.window,
+                property: Atom::new("XSEL_DATA"),
+                delete: false
+            },
+        ),
+        Ok(Reply::Property(None))
+    );
+}
+
+#[test]
+fn copy_between_own_windows_still_requires_input_only_once_per_op() {
+    // Two copies in a row need two interactions: each SetSelection is an
+    // independently mediated operation.
+    let mut machine = System::protected();
+    let (source, _) = two_apps(&mut machine);
+    machine.click_window(source.window);
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window,
+            },
+        )
+        .unwrap();
+    machine.advance(SimDuration::from_secs(5));
+    assert!(machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::primary(),
+                window: source.window
+            },
+        )
+        .is_err());
+}

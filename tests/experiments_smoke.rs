@@ -1,0 +1,96 @@
+//! End-to-end smoke tests over every experiment harness: each paper claim
+//! is regenerated at reduced scale and its headline direction asserted.
+
+use overhaul_apps::workload::{run_empirical_experiment, WorkloadConfig};
+use overhaul_bench::ablation::{sweep_delta, sweep_propagation, sweep_shm_wait, sweep_visibility};
+use overhaul_bench::applicability;
+use overhaul_bench::table1::{self, Scale};
+use overhaul_bench::usability::{self, StudyConfig};
+use overhaul_core::{OverhaulConfig, System};
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+
+fn small_screen(mut config: OverhaulConfig) -> OverhaulConfig {
+    config.x.screen = Rect::new(0, 0, 160, 100);
+    config
+}
+
+#[test]
+fn table1_smoke_all_rows_measurable() {
+    let rows = table1::run_all(Scale {
+        device_opens: 500,
+        pastes: 30,
+        captures: 3,
+        shm_writes: 5_000,
+        files: 200,
+    });
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert!(row.baseline.as_nanos() > 0);
+        // At tiny scales jitter dominates; the assertion is only that the
+        // measurement machinery produces finite overheads.
+        assert!(row.overhead_pct().is_finite(), "{}", row.name);
+    }
+}
+
+#[test]
+fn usability_smoke_transparency_and_blocking() {
+    let report = usability::run_study(StudyConfig {
+        participants: 8,
+        ..StudyConfig::default()
+    });
+    assert_eq!(report.calls_succeeded, 8);
+    assert_eq!(report.probes_blocked, 8);
+    assert_eq!(report.likert[0], 8, "task 1: everyone rates it identical");
+}
+
+#[test]
+fn applicability_smoke_no_false_positives() {
+    // A slice of each corpus keeps the smoke test fast; the full corpora
+    // run in the bench-crate unit tests and the binary.
+    let device_pool = overhaul_apps::corpus::device_corpus();
+    let (report, _) =
+        applicability::run_corpus("device-slice", &device_pool[..12], System::protected);
+    assert_eq!(
+        report.false_positives, 0,
+        "broken: {:?}",
+        report.broken_apps
+    );
+    let clip_pool = overhaul_apps::corpus::clipboard_corpus();
+    let (report, _) = applicability::run_corpus("clip-slice", &clip_pool[..10], System::protected);
+    assert_eq!(report.false_positives, 0);
+}
+
+#[test]
+fn empirical_smoke_protected_vs_baseline() {
+    let config = WorkloadConfig {
+        days: 1,
+        actions_per_day: 30,
+        spy_interval: SimDuration::from_secs(1200),
+        seed: 99,
+    };
+    let mut protected = System::new(small_screen(OverhaulConfig::protected()));
+    let p = run_empirical_experiment(&mut protected, config);
+    assert_eq!(p.items_stolen, 0);
+    assert_eq!(p.legit_denied, 0);
+
+    let mut baseline = System::new(small_screen(OverhaulConfig::baseline()));
+    let b = run_empirical_experiment(&mut baseline, config);
+    assert!(b.items_stolen > 0, "{b:?}");
+}
+
+#[test]
+fn ablation_smoke_directions_hold() {
+    let delta = sweep_delta(&[500, 2000], 20, 5);
+    assert!(delta[0].false_deny_rate >= delta[1].false_deny_rate);
+
+    let shm = sweep_shm_wait(&[100, 1000], 10, 5);
+    assert!(shm[0].faults_per_10k >= shm[1].faults_per_10k);
+
+    let vis = sweep_visibility(&[0, 500], 20, 5);
+    assert!(vis[0].popup_attack_succeeds);
+    assert!(!vis[1].popup_attack_succeeds);
+
+    let prop = sweep_propagation();
+    assert_eq!(prop.functional_without_p2, 0);
+}

@@ -1,0 +1,256 @@
+//! Policies P1/P2 (§III-D) over arbitrary process topologies: spawn chains
+//! and IPC relay chains "of arbitrary length and complexity", including
+//! property-based tests over random chain compositions.
+
+use overhaul_core::System;
+use overhaul_kernel::Kernel;
+use overhaul_sim::{Pid, SimDuration, Timestamp};
+use overhaul_xserver::geometry::Rect;
+use proptest::prelude::*;
+
+/// Every IPC mechanism that can form a link in a relay chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Link {
+    Pipe,
+    Socket,
+    SysvQueue,
+    PosixQueue,
+    SharedMemory,
+    Pty,
+}
+
+impl Link {
+    const ALL: [Link; 6] = [
+        Link::Pipe,
+        Link::Socket,
+        Link::SysvQueue,
+        Link::PosixQueue,
+        Link::SharedMemory,
+        Link::Pty,
+    ];
+}
+
+/// Sends one message from `from` to `to` over `link`, exercising the
+/// embed/adopt protocol. Unique `tag` keeps keyed namespaces distinct.
+fn relay(kernel: &mut Kernel, link: Link, from: Pid, to: Pid, tag: i32) {
+    match link {
+        Link::Pipe => {
+            // Unrelated processes rendezvous over a named pipe.
+            let path = format!("/tmp/relay-fifo-{tag}");
+            kernel.sys_mkfifo(from, &path, 0o666).unwrap();
+            let wfd = kernel
+                .sys_open(from, &path, overhaul_kernel::OpenMode::WriteOnly)
+                .unwrap();
+            let rfd = kernel
+                .sys_open(to, &path, overhaul_kernel::OpenMode::ReadOnly)
+                .unwrap();
+            kernel.sys_write(from, wfd, b"m").unwrap();
+            kernel.sys_read(to, rfd, 8).unwrap();
+        }
+        Link::Socket => {
+            // Socket ends cannot rendezvous by name here, so a helper child
+            // of `from` holds end B (the usual fork hand-off). Its
+            // fork-inherited credit is cleared so only the *message*
+            // carries the timestamp; a fresh queue bridges helper -> to.
+            let (a, b) = kernel.sys_socketpair(from).unwrap();
+            let helper = kernel.sys_fork(from).unwrap();
+            kernel.reset_interaction(helper).unwrap();
+            kernel.sys_write(from, a, b"m").unwrap();
+            kernel.sys_read(helper, b, 8).unwrap();
+            let q = kernel.sys_msgget(helper, 1_000_000 + tag).unwrap();
+            kernel.sys_msgsnd(helper, q, 1, b"m").unwrap();
+            kernel.sys_msgrcv(to, q, 1).unwrap();
+        }
+        Link::SysvQueue => {
+            let q = kernel.sys_msgget(from, 2_000_000 + tag).unwrap();
+            kernel.sys_msgsnd(from, q, 1, b"m").unwrap();
+            kernel.sys_msgrcv(to, q, 1).unwrap();
+        }
+        Link::PosixQueue => {
+            let name = format!("/relay-{tag}");
+            let qa = kernel.sys_mq_open(from, &name).unwrap();
+            let qb = kernel.sys_mq_open(to, &name).unwrap();
+            kernel.sys_write(from, qa, b"m").unwrap();
+            kernel.sys_read(to, qb, 8).unwrap();
+        }
+        Link::SharedMemory => {
+            let shm = kernel.sys_shmget(from, 3_000_000 + tag, 1).unwrap();
+            let va = kernel.sys_shmat(from, shm).unwrap();
+            let vb = kernel.sys_shmat(to, shm).unwrap();
+            kernel.sys_shm_write(from, va, 0, b"m").unwrap();
+            kernel.sys_shm_read(to, vb, 0, 1).unwrap();
+            kernel.sys_shmdt(from, va).unwrap();
+            kernel.sys_shmdt(to, vb).unwrap();
+        }
+        Link::Pty => {
+            // Terminal-emulator pattern: `from` holds the master, a shell
+            // forked from it holds the slave. The shell's fork-inherited
+            // credit is cleared so the pty write is what carries the
+            // timestamp; a fresh queue bridges shell -> to.
+            let (master, slave) = kernel.sys_openpty(from).unwrap();
+            let shell = kernel.sys_fork(from).unwrap();
+            kernel.reset_interaction(shell).unwrap();
+            kernel.sys_write(from, master, b"m").unwrap();
+            kernel.sys_read(shell, slave, 8).unwrap();
+            let q = kernel.sys_msgget(shell, 4_000_000 + tag).unwrap();
+            kernel.sys_msgsnd(shell, q, 1, b"m").unwrap();
+            kernel.sys_msgrcv(to, q, 1).unwrap();
+        }
+    }
+}
+
+fn machine_with_processes(n: usize) -> (System, Vec<Pid>) {
+    let mut machine = System::protected();
+    let pids: Vec<Pid> = (0..n)
+        .map(|i| {
+            machine
+                .spawn_process(None, &format!("/usr/bin/proc{i}"))
+                .unwrap()
+        })
+        .collect();
+    (machine, pids)
+}
+
+fn give_interaction(machine: &mut System, pid: Pid) {
+    // Route an authentic interaction through the display manager.
+    let client = machine.connect_x(pid);
+    let window = match machine
+        .x_request(
+            client,
+            overhaul_xserver::protocol::Request::CreateWindow {
+                rect: Rect::new(0, 0, 50, 50),
+            },
+        )
+        .unwrap()
+    {
+        overhaul_xserver::protocol::Reply::Window(w) => w,
+        _ => unreachable!(),
+    };
+    machine
+        .x_request(
+            client,
+            overhaul_xserver::protocol::Request::MapWindow { window },
+        )
+        .unwrap();
+    machine.settle();
+    assert!(machine.click_window(window));
+}
+
+#[test]
+fn chain_of_every_link_kind_propagates() {
+    for (index, link) in Link::ALL.iter().enumerate() {
+        let (mut machine, pids) = machine_with_processes(2);
+        give_interaction(&mut machine, pids[0]);
+        relay(machine.kernel_mut(), *link, pids[0], pids[1], index as i32);
+        assert!(
+            machine.open_device(pids[1], "/dev/snd/mic0").is_ok(),
+            "{link:?} must carry the interaction"
+        );
+    }
+}
+
+#[test]
+fn five_hop_mixed_chain_propagates() {
+    let (mut machine, pids) = machine_with_processes(6);
+    give_interaction(&mut machine, pids[0]);
+    let chain = [
+        Link::Pipe,
+        Link::SharedMemory,
+        Link::SysvQueue,
+        Link::PosixQueue,
+        Link::Pty,
+    ];
+    for (hop, link) in chain.iter().enumerate() {
+        relay(
+            machine.kernel_mut(),
+            *link,
+            pids[hop],
+            pids[hop + 1],
+            100 + hop as i32,
+        );
+    }
+    assert!(machine.open_device(pids[5], "/dev/video0").is_ok());
+}
+
+#[test]
+fn chain_without_interaction_grants_nothing() {
+    let (mut machine, pids) = machine_with_processes(4);
+    for (hop, link) in [Link::Pipe, Link::SysvQueue, Link::SharedMemory]
+        .iter()
+        .enumerate()
+    {
+        relay(
+            machine.kernel_mut(),
+            *link,
+            pids[hop],
+            pids[hop + 1],
+            200 + hop as i32,
+        );
+    }
+    assert!(machine.open_device(pids[3], "/dev/snd/mic0").is_err());
+}
+
+#[test]
+fn stale_timestamp_does_not_resurrect_through_relays() {
+    let (mut machine, pids) = machine_with_processes(3);
+    give_interaction(&mut machine, pids[0]);
+    relay(machine.kernel_mut(), Link::SysvQueue, pids[0], pids[1], 300);
+    // Let the propagated stamp expire before the second hop.
+    machine.advance(SimDuration::from_secs(10));
+    relay(machine.kernel_mut(), Link::SysvQueue, pids[1], pids[2], 301);
+    assert!(
+        machine.open_device(pids[2], "/dev/snd/mic0").is_err(),
+        "the stamp is a timestamp, not a capability: it expires everywhere"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random chain of 1..=4 links propagates a fresh interaction from
+    /// head to tail.
+    #[test]
+    fn any_chain_propagates(indices in prop::collection::vec(0usize..Link::ALL.len(), 1..=4)) {
+        let (mut machine, pids) = machine_with_processes(indices.len() + 1);
+        give_interaction(&mut machine, pids[0]);
+        for (hop, link_index) in indices.iter().enumerate() {
+            relay(
+                machine.kernel_mut(),
+                Link::ALL[*link_index],
+                pids[hop],
+                pids[hop + 1],
+                1_000 + hop as i32,
+            );
+        }
+        prop_assert!(machine.open_device(*pids.last().unwrap(), "/dev/snd/mic0").is_ok());
+    }
+
+    /// Relaying never grants a *sender* anything: only receivers adopt.
+    #[test]
+    fn senders_gain_nothing(link_index in 0usize..Link::ALL.len()) {
+        let (mut machine, pids) = machine_with_processes(2);
+        give_interaction(&mut machine, pids[0]);
+        // pids[1] (no interaction) sends TO pids[0].
+        relay(machine.kernel_mut(), Link::ALL[link_index], pids[1], pids[0], 2_000 + link_index as i32);
+        prop_assert!(machine.open_device(pids[1], "/dev/video0").is_err());
+    }
+
+    /// Timestamps are monotone: a relay can never make a receiver's stored
+    /// interaction *older*.
+    #[test]
+    fn adoption_is_monotone(link_index in 0usize..Link::ALL.len()) {
+        let (mut machine, pids) = machine_with_processes(2);
+        // Receiver has a fresh interaction; sender an old one.
+        give_interaction(&mut machine, pids[1]);
+        let fresh = machine
+            .kernel()
+            .tasks()
+            .get(pids[1])
+            .unwrap()
+            .interaction()
+            .unwrap();
+        relay(machine.kernel_mut(), Link::ALL[link_index], pids[0], pids[1], 3_000 + link_index as i32);
+        let after: Option<Timestamp> = machine.kernel().tasks().get(pids[1]).unwrap().interaction();
+        prop_assert!(after >= Some(fresh));
+    }
+}

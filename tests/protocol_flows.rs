@@ -1,0 +1,193 @@
+//! Figures 1–4: the paper's four protocol walkthroughs, asserted step by
+//! step across the whole stack (kernel + X server + core wiring).
+
+use overhaul_core::System;
+use overhaul_sim::{AuditCategory, SimDuration};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{InputPayload, XEvent};
+
+/// Figure 1: dynamic access control over a privacy-sensitive hardware
+/// device (the microphone).
+#[test]
+fn figure1_microphone_access() {
+    let mut machine = System::protected();
+    let app = machine
+        .launch_gui_app("/usr/bin/app", Rect::new(0, 0, 200, 200))
+        .unwrap();
+    machine.settle();
+
+    // (1) The user clicks the mic button; the display manager receives the
+    // event and verifies it came from hardware.
+    assert!(machine.click_window(app.window));
+    // (2) The display manager sent N_{A,t} to the permission monitor.
+    assert_eq!(
+        machine
+            .x_audit()
+            .count(AuditCategory::InteractionNotification),
+        1
+    );
+    assert_eq!(
+        machine
+            .kernel_audit()
+            .count(AuditCategory::InteractionNotification),
+        1
+    );
+    // (3) The event was forwarded to A.
+    let events = machine.xserver_mut().drain_events(app.client).unwrap();
+    assert!(matches!(
+        events.as_slice(),
+        [XEvent::Input {
+            synthetic: false,
+            payload: InputPayload::Button { .. },
+            ..
+        }]
+    ));
+    // (4)–(5) A's mic request within δ is correlated and granted.
+    machine.advance(SimDuration::from_millis(800));
+    let fd = machine
+        .open_device(app.pid, "/dev/snd/mic0")
+        .expect("n < delta");
+    assert!(machine.kernel_mut().sys_read(app.pid, fd, 16).is_ok());
+    // (6) The kernel requested a visual alert; the display manager showed it.
+    assert_eq!(machine.alert_history().len(), 1);
+    assert!(machine.alert_history()[0].granted);
+    assert_eq!(machine.alert_history()[0].op, "mic");
+    assert_eq!(machine.x_audit().count(AuditCategory::AlertDisplayed), 1);
+}
+
+/// Figure 2: clipboard paste mediated by a permission query from the
+/// display manager to the kernel monitor.
+#[test]
+fn figure2_clipboard_paste_query() {
+    use overhaul_xserver::protocol::{Atom, Request};
+    let mut machine = System::protected();
+    let source = machine
+        .launch_gui_app("/usr/bin/source", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    let target = machine
+        .launch_gui_app("/usr/bin/target", Rect::new(200, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+
+    // Copy: user input then SetSelection.
+    machine.click_window(source.window);
+    machine
+        .x_request(
+            source.client,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: source.window,
+            },
+        )
+        .expect("copy granted");
+
+    // (1) User inputs the paste keystroke on the target...
+    machine.click_window(target.window);
+    let grants_before = machine.kernel().monitor_stats().grants;
+    // (4)–(7) ...the paste request triggers Q_{A,t+n} and is granted.
+    machine
+        .x_request(
+            target.client,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: target.window,
+                property: Atom::new("P"),
+            },
+        )
+        .expect("paste granted");
+    assert!(
+        machine.kernel().monitor_stats().grants > grants_before,
+        "the monitor was queried"
+    );
+
+    // A paste *without* input is answered with a deny and BadAccess.
+    machine.advance(SimDuration::from_secs(10));
+    let denies_before = machine.kernel().monitor_stats().denies;
+    assert!(machine
+        .x_request(
+            target.client,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: target.window,
+                property: Atom::new("P"),
+            },
+        )
+        .is_err());
+    assert!(machine.kernel().monitor_stats().denies > denies_before);
+    // No alert for clipboard operations (usability decision, §V-C).
+    assert!(machine.alert_history().is_empty());
+}
+
+/// Figure 3: a program launcher spawns a screen-capture tool; the child
+/// inherits the launcher's interaction record (P1).
+#[test]
+fn figure3_launcher_spawns_screenshot_tool() {
+    use overhaul_xserver::protocol::{Reply, Request};
+    let mut machine = System::protected();
+    let run = machine
+        .launch_gui_app("/usr/bin/run", Rect::new(0, 0, 300, 40))
+        .unwrap();
+    machine.settle();
+
+    // (1)–(3) The user types the program name into the launcher.
+    machine.click_window(run.window);
+    // (4) Run creates the Shot process.
+    let shot = machine
+        .kernel_mut()
+        .sys_spawn(run.pid, "/usr/bin/shot")
+        .unwrap();
+    let shot_client = machine.connect_x(shot);
+    // (5) Shot's screen-capture request is granted: the interaction
+    // notification was duplicated at fork time.
+    machine.advance(SimDuration::from_millis(200));
+    match machine.x_request(shot_client, Request::GetImage { window: None }) {
+        Ok(Reply::Image(pixels)) => assert!(!pixels.is_empty()),
+        other => panic!("screen capture should be granted: {other:?}"),
+    }
+    // The alert names the capture operation.
+    assert_eq!(machine.alert_history().last().unwrap().op, "scr");
+}
+
+/// Figure 4: a multi-process browser where the tab gets its command over
+/// shared-memory IPC (P2 via page-fault interposition).
+#[test]
+fn figure4_browser_tab_shared_memory() {
+    let mut machine = System::protected();
+    let browser = machine
+        .launch_gui_app("/usr/bin/browser", Rect::new(0, 0, 800, 600))
+        .unwrap();
+    let kernel = machine.kernel_mut();
+    let shm = kernel.sys_shmget(browser.pid, 1, 4).unwrap();
+    let browser_vma = kernel.sys_shmat(browser.pid, shm).unwrap();
+    let tab = kernel.sys_fork(browser.pid).unwrap();
+    kernel.sys_execve(tab, "/usr/bin/browser-tab").unwrap();
+    let tab_vma = kernel.sys_shmat(tab, shm).unwrap();
+
+    // Fork-inherited interaction state expires; only IPC can help now.
+    machine.advance(SimDuration::from_secs(60));
+    machine.settle();
+    assert!(
+        machine.open_device(tab, "/dev/video0").is_err(),
+        "no interaction yet"
+    );
+
+    // (1)–(3) The user commands the browser.
+    machine.click_window(browser.window);
+    // (4) Main -> tab over shared memory.
+    machine
+        .kernel_mut()
+        .sys_shm_write(browser.pid, browser_vma, 0, b"camera on")
+        .unwrap();
+    machine
+        .kernel_mut()
+        .sys_shm_read(tab, tab_vma, 0, 9)
+        .unwrap();
+    // (5) cam_{t+n} now has a corresponding interaction record.
+    assert!(machine.open_device(tab, "/dev/video0").is_ok());
+    assert!(
+        machine
+            .kernel_audit()
+            .count(AuditCategory::InteractionPropagated)
+            >= 2
+    );
+}

@@ -1,0 +1,206 @@
+//! Randomized system-level soak: hours of mixed legitimate use and attack
+//! traffic on one machine, with global security invariants checked
+//! throughout. This is the "nothing weird happens when everything happens
+//! at once" test.
+
+use overhaul_apps::malware::Spyware;
+use overhaul_core::{Gui, System};
+use overhaul_sim::{AuditCategory, SimDuration, SimRng};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, InputPayload, Request, XEvent};
+
+struct Soak {
+    machine: System,
+    rng: SimRng,
+    apps: Vec<Gui>,
+    spyware: Spyware,
+    /// Device grants observed for the spyware (must stay 0).
+    spy_grants: usize,
+    /// Legit denials observed right after a click (must stay 0).
+    legit_denials_after_click: usize,
+}
+
+impl Soak {
+    fn new(seed: u64) -> Self {
+        Soak::on_machine(System::protected(), seed)
+    }
+
+    fn new_integrated(seed: u64) -> Self {
+        Soak::on_machine(System::integrated(), seed)
+    }
+
+    fn on_machine(machine: System, seed: u64) -> Self {
+        let mut machine = machine;
+        let apps = (0..4)
+            .map(|i| {
+                machine
+                    .launch_gui_app(&format!("/usr/bin/app{i}"), Rect::new(i * 220, 0, 200, 200))
+                    .unwrap()
+            })
+            .collect::<Vec<_>>();
+        machine.settle();
+        let spyware = Spyware::install(&mut machine);
+        Soak {
+            machine,
+            rng: SimRng::seeded(seed),
+            apps,
+            spyware,
+            spy_grants: 0,
+            legit_denials_after_click: 0,
+        }
+    }
+
+    fn step(&mut self) {
+        let app_index = self.rng.range(0, self.apps.len() as u64) as usize;
+        let app = self.apps[app_index];
+        match self.rng.range(0, 10) {
+            // Legit: click then open a device quickly — must always grant.
+            0..=2 => {
+                // Raise first so the click actually lands on this app.
+                let _ = self
+                    .machine
+                    .x_request(app.client, Request::RaiseWindow { window: app.window });
+                self.machine.settle();
+                if self.machine.click_window(app.window) {
+                    self.machine
+                        .advance(SimDuration::from_millis(self.rng.range(10, 1_500)));
+                    let path = if self.rng.chance(0.5) {
+                        "/dev/snd/mic0"
+                    } else {
+                        "/dev/video0"
+                    };
+                    match self.machine.open_device(app.pid, path) {
+                        Ok(fd) => {
+                            let _ = self.machine.kernel_mut().sys_close(app.pid, fd);
+                        }
+                        Err(_) => self.legit_denials_after_click += 1,
+                    }
+                }
+            }
+            // Legit: clipboard copy after a click.
+            3..=4 => {
+                let _ = self
+                    .machine
+                    .x_request(app.client, Request::RaiseWindow { window: app.window });
+                self.machine.settle();
+                if self.machine.click_window(app.window) {
+                    let _ = self.machine.x_request(
+                        app.client,
+                        Request::SetSelectionOwner {
+                            selection: Atom::clipboard(),
+                            window: app.window,
+                        },
+                    );
+                }
+            }
+            // Attack: spyware cycle.
+            5..=6 => {
+                let loot = self.spyware.run_cycle(&mut self.machine);
+                self.spy_grants += loot.count();
+            }
+            // Attack: synthetic input flood at a random app.
+            7 => {
+                let spy_client = self
+                    .machine
+                    .xserver()
+                    .client_of_pid(self.spyware.pid())
+                    .unwrap();
+                for _ in 0..4 {
+                    let _ = self.machine.x_request(
+                        spy_client,
+                        Request::SendEvent {
+                            target: app.window,
+                            event: Box::new(XEvent::Input {
+                                window: app.window,
+                                payload: InputPayload::Button { x: 1, y: 1 },
+                                synthetic: false,
+                            }),
+                        },
+                    );
+                    let _ = self.machine.x_request(
+                        spy_client,
+                        Request::XTestFakeInput {
+                            payload: InputPayload::Key { ch: 'x' },
+                            target: app.window,
+                        },
+                    );
+                }
+            }
+            // Time passes.
+            _ => {
+                self.machine
+                    .advance(SimDuration::from_millis(self.rng.range(100, 10_000)));
+            }
+        }
+        // Drain app event queues as real apps would.
+        for gui in &self.apps {
+            let _ = self.machine.xserver_mut().drain_events(gui.client);
+        }
+    }
+
+    fn check_invariants(&self) {
+        assert_eq!(self.spy_grants, 0, "spyware must never be granted anything");
+        assert_eq!(
+            self.legit_denials_after_click, 0,
+            "a device open right after a click must never be denied"
+        );
+        // The spyware never received an interaction notification.
+        assert_eq!(
+            self.machine
+                .kernel_audit()
+                .count_for(AuditCategory::InteractionNotification, self.spyware.pid()),
+            0
+        );
+        // No timestamps from the future anywhere.
+        let now = self.machine.now();
+        for task in self.machine.kernel().tasks().iter() {
+            if let Some(ts) = task.raw_interaction() {
+                assert!(ts <= now);
+            }
+        }
+    }
+}
+
+#[test]
+fn soak_seed_1() {
+    let mut soak = Soak::new(1);
+    for _ in 0..400 {
+        soak.step();
+    }
+    soak.check_invariants();
+}
+
+#[test]
+fn soak_seed_2() {
+    let mut soak = Soak::new(20_260_705);
+    for _ in 0..400 {
+        soak.step();
+    }
+    soak.check_invariants();
+}
+
+#[test]
+fn soak_integrated_dm() {
+    let mut soak = Soak::new_integrated(3);
+    for _ in 0..400 {
+        soak.step();
+    }
+    soak.check_invariants();
+}
+
+#[test]
+fn soak_is_deterministic() {
+    let run = |seed| {
+        let mut soak = Soak::new(seed);
+        for _ in 0..150 {
+            soak.step();
+        }
+        (
+            soak.machine.kernel_audit().len(),
+            soak.machine.x_audit().len(),
+            soak.machine.alert_history().len(),
+            soak.machine.now(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}

@@ -1,0 +1,116 @@
+//! Dynamic device management end-to-end (§IV-B, *Device mediation*):
+//! udev renames, the trusted helper, hot-plug, and the helper-lag window.
+
+use overhaul_core::System;
+use overhaul_kernel::device::DeviceClass;
+use overhaul_kernel::error::Errno;
+use overhaul_sim::SimDuration;
+use overhaul_xserver::geometry::Rect;
+
+#[test]
+fn hotplugged_device_is_mediated_immediately() {
+    let mut machine = System::protected();
+    // A USB webcam appears at runtime.
+    machine
+        .kernel_mut()
+        .attach_device(DeviceClass::Camera, "usb webcam", "/dev/video9");
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    assert_eq!(
+        machine.open_device(spy, "/dev/video9"),
+        Err(Errno::Eacces),
+        "hot-plugged devices are protected from the first instant"
+    );
+}
+
+#[test]
+fn rename_with_helper_keeps_protection() {
+    let mut machine = System::protected();
+    machine
+        .kernel_mut()
+        .udev_rename_device("/dev/video0", "/dev/video-front")
+        .unwrap();
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    // Old path is gone; new path is mediated.
+    assert_eq!(machine.open_device(spy, "/dev/video0"), Err(Errno::Enoent));
+    assert_eq!(
+        machine.open_device(spy, "/dev/video-front"),
+        Err(Errno::Eacces)
+    );
+
+    // And a legitimate interactive app still works at the new path.
+    let app = machine
+        .launch_gui_app("/usr/bin/cheese", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+    machine.click_window(app.window);
+    machine.advance(SimDuration::from_millis(100));
+    assert!(machine.open_device(app.pid, "/dev/video-front").is_ok());
+}
+
+#[test]
+fn helper_lag_window_is_the_documented_gap() {
+    let mut machine = System::protected();
+    machine
+        .kernel_mut()
+        .udev_rename_device_without_helper("/dev/video0", "/dev/video-renamed")
+        .unwrap();
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    // While the helper lags, the node exists but is unknown to the
+    // mediation map: the open proceeds under plain UNIX semantics.
+    assert!(
+        machine.open_device(spy, "/dev/video-renamed").is_ok(),
+        "the lag window is a real (documented) exposure"
+    );
+    // Once the helper catches up, protection resumes.
+    machine
+        .kernel_mut()
+        .device_map_catch_up("/dev/video0", "/dev/video-renamed");
+    let spy2 = machine.spawn_process(None, "/usr/bin/.spy2").unwrap();
+    assert_eq!(
+        machine.open_device(spy2, "/dev/video-renamed"),
+        Err(Errno::Eacces)
+    );
+}
+
+#[test]
+fn sensor_class_devices_are_protected_too() {
+    // "These devices could include arbitrary sensors attached to the
+    // system" (§III-C).
+    let mut machine = System::protected();
+    machine
+        .kernel_mut()
+        .attach_device(DeviceClass::Sensor, "gps", "/dev/gps0");
+    let tracker = machine.spawn_process(None, "/usr/bin/.tracker").unwrap();
+    assert_eq!(
+        machine.open_device(tracker, "/dev/gps0"),
+        Err(Errno::Eacces)
+    );
+
+    let maps = machine
+        .launch_gui_app("/usr/bin/maps", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+    machine.click_window(maps.window);
+    let fd = machine.open_device(maps.pid, "/dev/gps0").unwrap();
+    let reading = machine.kernel_mut().sys_read(maps.pid, fd, 64).unwrap();
+    assert!(reading.starts_with(b"reading:gps"));
+    assert_eq!(machine.alert_history().last().unwrap().op, "sensor");
+}
+
+#[test]
+fn unplugged_device_path_stops_existing() {
+    let mut machine = System::protected();
+    machine
+        .kernel_mut()
+        .sys_unlink(overhaul_sim::Pid::INIT, "/dev/video0")
+        .unwrap();
+    let app = machine
+        .launch_gui_app("/usr/bin/cheese", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+    machine.click_window(app.window);
+    assert_eq!(
+        machine.open_device(app.pid, "/dev/video0"),
+        Err(Errno::Enoent)
+    );
+}
