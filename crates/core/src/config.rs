@@ -2,7 +2,7 @@
 
 use overhaul_kernel::device::DeviceClass;
 use overhaul_kernel::KernelConfig;
-use overhaul_sim::SimDuration;
+use overhaul_sim::{FaultSpec, SimDuration};
 use overhaul_xserver::XConfig;
 
 /// A sensitive device to attach at boot.
@@ -39,6 +39,11 @@ pub struct OverhaulConfig {
     /// Kernel-integrated display manager (§III): the display manager calls
     /// the permission monitor in-process; no netlink channel exists.
     pub integrated_dm: bool,
+    /// Optional deterministic fault plan injected at boot: seeded message
+    /// drops/delays/duplicates/reorders on the netlink channel, scheduled
+    /// display-manager crashes, and VFS stat failures during channel
+    /// authentication. `None` means a fault-free run.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for OverhaulConfig {
@@ -51,6 +56,7 @@ impl Default for OverhaulConfig {
                 DeviceSpec::new(DeviceClass::Camera, "webcam", "/dev/video0"),
             ],
             integrated_dm: false,
+            fault: None,
         }
     }
 }
@@ -114,6 +120,23 @@ impl OverhaulConfig {
         self
     }
 
+    /// Installs a deterministic fault plan (builder style). The plan is
+    /// armed at boot and drives channel faults, scheduled display-manager
+    /// crashes, and VFS stat failures for the whole run.
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
+    }
+
+    /// Tunes the channel retry policy (builder style): how many resends the
+    /// kernel attempts before declaring the channel down, and the base
+    /// virtual-time backoff doubled on each attempt.
+    pub fn with_channel_retry(mut self, max_retries: u32, backoff: SimDuration) -> Self {
+        self.kernel.channel_max_retries = max_retries;
+        self.kernel.channel_retry_backoff = backoff;
+        self
+    }
+
     /// Whether this configuration has Overhaul active anywhere.
     pub fn overhaul_enabled(&self) -> bool {
         self.kernel.overhaul_enabled || self.x.overhaul_enabled
@@ -158,6 +181,21 @@ mod tests {
         assert_eq!(c.kernel.monitor.delta, SimDuration::from_millis(750));
         assert_eq!(c.kernel.shm_wait, SimDuration::from_millis(100));
         assert_eq!(c.x.visibility_threshold, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn fault_and_retry_builders_apply() {
+        let c = OverhaulConfig::protected()
+            .with_fault(FaultSpec::quiet(7).with_drop_p(0.25))
+            .with_channel_retry(5, SimDuration::from_millis(20));
+        assert!(c.fault.is_some());
+        assert_eq!(c.kernel.channel_max_retries, 5);
+        assert_eq!(c.kernel.channel_retry_backoff, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn default_has_no_fault_plan() {
+        assert!(OverhaulConfig::default().fault.is_none());
     }
 
     #[test]

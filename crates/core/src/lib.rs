@@ -53,5 +53,5 @@ pub mod user;
 pub use config::{DeviceSpec, OverhaulConfig};
 pub use integrated::DirectMonitorLink;
 pub use link::NetlinkMonitorLink;
-pub use system::{Gui, System};
+pub use system::{BootError, Gui, System};
 pub use user::{AttentionProfile, NoticeOutcome, SimulatedUser};

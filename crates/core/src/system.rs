@@ -6,11 +6,13 @@
 //! processes and GUI apps, injecting hardware input, issuing X requests,
 //! opening devices, and pumping kernel alert pushes onto the overlay.
 
-use overhaul_kernel::error::SysResult;
-use overhaul_kernel::netlink::{ConnId, KernelPush};
+use std::fmt;
+
+use overhaul_kernel::error::{Errno, SysResult};
+use overhaul_kernel::netlink::{ChannelState, ConnId, KernelPush, NetlinkError};
 use overhaul_kernel::syscall::OpenMode;
 use overhaul_kernel::{Kernel, XORG_PATH};
-use overhaul_sim::{AuditLog, Clock, Fd, Pid, SimDuration, Timestamp};
+use overhaul_sim::{AuditCategory, AuditLog, Clock, FaultPlan, Fd, Pid, SimDuration, Timestamp};
 use overhaul_xserver::geometry::{Point, Rect};
 use overhaul_xserver::overlay::Alert;
 use overhaul_xserver::protocol::{ClientId, Reply, Request, XError};
@@ -32,6 +34,31 @@ pub struct Gui {
     pub window: WindowId,
 }
 
+/// Why a machine failed to boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootError {
+    /// Spawning the display-manager process failed.
+    Spawn(Errno),
+    /// The netlink channel could not authenticate, even after bounded
+    /// retries of transient failures.
+    ChannelAuth(NetlinkError),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::Spawn(errno) => {
+                write!(f, "spawning the display manager failed: {errno}")
+            }
+            BootError::ChannelAuth(err) => {
+                write!(f, "netlink channel authentication failed: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
 /// A complete simulated machine.
 #[derive(Debug)]
 pub struct System {
@@ -41,40 +68,91 @@ pub struct System {
     x_pid: Pid,
     x_conn: Option<ConnId>,
     config: OverhaulConfig,
+    fault: Option<FaultPlan>,
 }
 
 impl System {
+    /// How many times boot (and restart) retries a transiently failing
+    /// channel authentication before giving up.
+    const BOOT_AUTH_ATTEMPTS: u32 = 4;
+
     /// Boots a machine with `config`: kernel, devices, X server process,
     /// and — when Overhaul is active — the authenticated netlink channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if boot fails; use [`System::try_new`] to handle
+    /// [`BootError`] instead.
     pub fn new(config: OverhaulConfig) -> Self {
+        System::try_new(config).unwrap_or_else(|err| panic!("boot failed: {err}"))
+    }
+
+    /// Boots a machine with `config`, reporting failures instead of
+    /// panicking: a dead init, or a channel that cannot authenticate even
+    /// after bounded retries (e.g. under an injected VFS fault plan).
+    ///
+    /// # Errors
+    ///
+    /// [`BootError::Spawn`] when the display-manager process cannot be
+    /// created; [`BootError::ChannelAuth`] when channel authentication
+    /// keeps failing.
+    pub fn try_new(config: OverhaulConfig) -> Result<Self, BootError> {
         let clock = Clock::new();
         let mut kernel = Kernel::new(clock.clone(), config.kernel.clone());
+        let fault = config.fault.clone().map(FaultPlan::new);
+        if let Some(plan) = &fault {
+            kernel.install_fault_plan(plan.clone());
+        }
         for device in &config.devices {
             kernel.attach_device(device.class, &device.label, &device.path);
         }
         let x_pid = kernel
             .sys_spawn(Pid::INIT, XORG_PATH)
-            .expect("init is alive at boot");
+            .map_err(BootError::Spawn)?;
         // An integrated display manager is kernel code: no channel exists.
         let wants_channel =
             !config.integrated_dm && (config.kernel.overhaul_enabled || config.x.overhaul_enabled);
         let x_conn = if wants_channel {
-            Some(
-                kernel
-                    .netlink_connect(x_pid)
-                    .expect("trusted X binary installed at boot"),
-            )
+            // With a channel-wired display manager the monitor must fail
+            // closed whenever that channel is down.
+            kernel.set_channel_required(true);
+            Some(Self::connect_channel(&clock, &mut kernel, x_pid)?)
         } else {
             None
         };
         let x = XServer::new(clock.clone(), config.x.clone());
-        System {
+        Ok(System {
             clock,
             kernel,
             x,
             x_pid,
             x_conn,
             config,
+            fault,
+        })
+    }
+
+    /// Authenticates the display manager's netlink connection, retrying
+    /// transient failures a bounded number of times with exponential
+    /// virtual-time backoff.
+    fn connect_channel(
+        clock: &Clock,
+        kernel: &mut Kernel,
+        x_pid: Pid,
+    ) -> Result<ConnId, BootError> {
+        let backoff = kernel.config().channel_retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match kernel.netlink_connect(x_pid) {
+                Ok(conn) => return Ok(conn),
+                Err(NetlinkError::AuthTransient) if attempt + 1 < Self::BOOT_AUTH_ATTEMPTS => {
+                    attempt += 1;
+                    clock.advance(SimDuration::from_millis(
+                        backoff.as_millis() << (attempt - 1),
+                    ));
+                }
+                Err(err) => return Err(BootError::ChannelAuth(err)),
+            }
         }
     }
 
@@ -111,6 +189,11 @@ impl System {
         } else if let Some(conn) = self.x_conn {
             let mut link = NetlinkMonitorLink::new(&mut self.kernel, conn);
             f(&mut self.x, &mut link)
+        } else if self.config.overhaul_enabled() {
+            // Overhaul is on but the channel is gone (display-manager
+            // crash): losing the channel must never widen access.
+            let mut link = overhaul_xserver::protocol::DenyAllLink;
+            f(&mut self.x, &mut link)
         } else {
             let mut link = overhaul_xserver::protocol::GrantAllLink;
             f(&mut self.x, &mut link)
@@ -133,9 +216,17 @@ impl System {
     }
 
     /// Advances virtual time and runs kernel housekeeping (the shm wait
-    /// list re-arm).
+    /// list re-arm). If an installed fault plan scheduled a display-manager
+    /// crash before `now`, the crash fires here.
     pub fn advance(&mut self, d: SimDuration) -> Timestamp {
         let now = self.clock.advance(d);
+        let crash_due = self
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.x_crash_due(now));
+        if crash_due && self.x_alive() {
+            self.crash_x();
+        }
         self.kernel.tick();
         now
     }
@@ -163,6 +254,26 @@ impl System {
     /// The X server's kernel process.
     pub fn x_pid(&self) -> Pid {
         self.x_pid
+    }
+
+    /// The display manager's netlink connection, if one is up.
+    pub fn x_conn(&self) -> Option<ConnId> {
+        self.x_conn
+    }
+
+    /// Whether the display-manager process is currently running.
+    pub fn x_alive(&self) -> bool {
+        self.kernel.tasks().is_running(self.x_pid)
+    }
+
+    /// Health of the kernel↔display-manager channel.
+    pub fn channel_state(&self) -> ChannelState {
+        self.kernel.channel_state()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The kernel-side audit log.
@@ -360,6 +471,75 @@ impl System {
                 }
             }
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Display-manager crash & recovery
+    // ---------------------------------------------------------------
+
+    /// Kills the display manager mid-run. The exit path eagerly invalidates
+    /// its netlink connections (the channel transitions to *down*), and
+    /// until [`System::restart_x`] succeeds every channel-dependent
+    /// decision fails closed. Pending kernel alert pushes stay buffered
+    /// kernel-side for replay. No-op if the display manager is already
+    /// dead.
+    pub fn crash_x(&mut self) {
+        if !self.x_alive() {
+            return;
+        }
+        // 139 = 128 + SIGSEGV, the classic display-server crash exit.
+        let _ = self.kernel.sys_exit(self.x_pid, 139);
+        self.x_conn = None;
+        let now = self.clock.now();
+        self.kernel.audit_mut().record(
+            now,
+            AuditCategory::ChannelEvent,
+            Some(self.x_pid),
+            "display manager crashed; channel severed",
+        );
+    }
+
+    /// Restarts a crashed display manager: respawns the X server process,
+    /// re-authenticates the netlink channel via VM-map introspection (with
+    /// bounded retries of transient failures), and replays kernel-buffered
+    /// alert pushes onto the overlay exactly once, marked as delayed.
+    /// Returns the number of replayed alerts.
+    ///
+    /// # Errors
+    ///
+    /// [`BootError`] when the respawn or the re-authentication fails; the
+    /// channel then stays down and the monitor keeps failing closed.
+    pub fn restart_x(&mut self) -> Result<usize, BootError> {
+        let x_pid = self
+            .kernel
+            .sys_spawn(Pid::INIT, XORG_PATH)
+            .map_err(BootError::Spawn)?;
+        self.x_pid = x_pid;
+        let wants_channel = !self.config.integrated_dm && self.config.overhaul_enabled();
+        if !wants_channel {
+            self.x_conn = None;
+            return Ok(0);
+        }
+        let conn = Self::connect_channel(&self.clock, &mut self.kernel, x_pid)?;
+        self.x_conn = Some(conn);
+        // Replay decisions made while the display manager was down. The
+        // kernel's sequence-number dedup plus its push buffer guarantee
+        // each alert reaches the overlay exactly once.
+        let pushes = self.kernel.netlink_take_pushes(conn).unwrap_or_default();
+        let mut replayed = 0;
+        for push in pushes {
+            match push {
+                KernelPush::DisplayAlert(alert) => {
+                    self.x.show_alert_replayed(
+                        &alert.process_name,
+                        &alert.op.to_string(),
+                        alert.granted,
+                    );
+                    replayed += 1;
+                }
+            }
+        }
+        Ok(replayed)
     }
 
     /// Alerts currently visible on the overlay.
@@ -592,5 +772,113 @@ mod tests {
         let system = System::protected();
         let task = system.kernel().tasks().get(system.x_pid()).unwrap();
         assert_eq!(task.exe_path(), XORG_PATH);
+    }
+
+    #[test]
+    fn crash_fails_closed_even_with_fresh_credit() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        system.crash_x();
+        assert!(!system.x_alive());
+        assert_eq!(system.channel_state(), ChannelState::Down);
+        system.advance(SimDuration::from_millis(10));
+        // The click was within δ, but the channel is down: fail closed.
+        assert_eq!(
+            system.open_device(app.pid, "/dev/snd/mic0"),
+            Err(Errno::Eacces)
+        );
+        assert!(system.kernel().monitor_stats().fail_closed_denies >= 1);
+        assert!(
+            system.kernel_audit().matching("channel down").count() >= 1,
+            "fail-closed denial must be audited"
+        );
+    }
+
+    #[test]
+    fn crash_x_twice_is_a_noop() {
+        let mut system = System::protected();
+        system.crash_x();
+        let events = system.kernel_audit().len();
+        system.crash_x();
+        assert_eq!(system.kernel_audit().len(), events);
+    }
+
+    #[test]
+    fn restart_reconnects_and_replays_buffered_alerts_once() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.crash_x();
+        // A denied open while down queues an alert nobody can display.
+        assert_eq!(
+            system.open_device(app.pid, "/dev/snd/mic0"),
+            Err(Errno::Eacces)
+        );
+        assert_eq!(system.alert_history().len(), 0, "no overlay while down");
+        assert_eq!(system.kernel().pending_push_count(), 1);
+
+        let replayed = system.restart_x().expect("restart succeeds");
+        assert_eq!(replayed, 1);
+        assert_eq!(system.channel_state(), ChannelState::Up);
+        assert_eq!(system.kernel().monitor_stats().channel_reconnects, 1);
+        assert_eq!(system.alert_history().len(), 1);
+        assert!(system.alert_history()[0].replayed);
+        assert!(system.alert_history()[0].render().ends_with("(delayed)"));
+
+        // Pumping again must not duplicate the replayed alert.
+        system.pump_alerts();
+        assert_eq!(system.alert_history().len(), 1);
+        assert_eq!(system.kernel().pending_push_count(), 0);
+    }
+
+    #[test]
+    fn input_during_crash_grants_no_credit() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.crash_x();
+        // The (dying) display manager still sees the click, but with no
+        // channel the deny-all link drops the notification.
+        system.click_window(app.window);
+        system.restart_x().expect("restart succeeds");
+        system.advance(SimDuration::from_millis(10));
+        assert_eq!(
+            system.open_device(app.pid, "/dev/snd/mic0"),
+            Err(Errno::Eacces),
+            "a notification lost to the crash must not turn into credit"
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_fires_during_advance() {
+        let config = OverhaulConfig::protected().with_fault(
+            overhaul_sim::FaultSpec::quiet(2).with_x_crashes(vec![Timestamp::from_millis(500)]),
+        );
+        let mut system = System::new(config);
+        assert!(system.x_alive());
+        system.advance(SimDuration::from_millis(600));
+        assert!(!system.x_alive(), "scheduled crash fired");
+        assert_eq!(system.channel_state(), ChannelState::Down);
+        let replayed = system.restart_x().expect("restart succeeds");
+        assert_eq!(replayed, 0);
+        assert_eq!(system.channel_state(), ChannelState::Up);
+    }
+
+    #[test]
+    fn boot_fails_cleanly_under_persistent_auth_fault() {
+        let config = OverhaulConfig::protected()
+            .with_fault(overhaul_sim::FaultSpec::quiet(1).with_vfs_stat_fail_p(1.0));
+        let err = System::try_new(config).expect_err("boot must fail");
+        assert_eq!(err, BootError::ChannelAuth(NetlinkError::AuthTransient));
+        assert!(err.to_string().contains("authentication"));
+    }
+
+    #[test]
+    fn baseline_restart_needs_no_channel() {
+        let mut system = System::baseline();
+        system.crash_x();
+        let replayed = system.restart_x().expect("restart succeeds");
+        assert_eq!(replayed, 0);
+        assert!(system.x_alive());
+        assert!(system.x_conn().is_none());
     }
 }

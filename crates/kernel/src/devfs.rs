@@ -14,7 +14,7 @@
 //! device is temporarily unmediated, which is the real design's failure
 //! mode and is covered by tests.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,10 @@ use crate::device::DeviceId;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceMap {
     by_path: BTreeMap<String, DeviceId>,
+    /// Devices whose old path was revoked while the helper's update about
+    /// the new path is still in flight. A quarantined device is unreachable
+    /// even at unmapped paths (fail closed) until a fresh mapping arrives.
+    quarantined: BTreeSet<DeviceId>,
 }
 
 impl DeviceMap {
@@ -32,8 +36,10 @@ impl DeviceMap {
         DeviceMap::default()
     }
 
-    /// Registers `path` as the node of `device`.
+    /// Registers `path` as the node of `device`, lifting any quarantine:
+    /// a fresh helper-provided mapping is the all-clear.
     pub fn insert(&mut self, path: impl Into<String>, device: DeviceId) {
+        self.quarantined.remove(&device);
         self.by_path.insert(path.into(), device);
     }
 
@@ -42,10 +48,26 @@ impl DeviceMap {
         self.by_path.remove(path)
     }
 
+    /// Revokes a path mapping and quarantines its device: the node moved
+    /// and the helper's update for the new location has not arrived yet, so
+    /// the device must stay unreachable in the meantime.
+    pub fn revoke(&mut self, path: &str) -> Option<DeviceId> {
+        let device = self.by_path.remove(path)?;
+        self.quarantined.insert(device);
+        Some(device)
+    }
+
+    /// Whether `device` is quarantined pending a helper update.
+    pub fn is_quarantined(&self, device: DeviceId) -> bool {
+        self.quarantined.contains(&device)
+    }
+
     /// Applies a rename reported by the trusted helper. A rename of an
-    /// unknown path is ignored (the helper may replay events).
+    /// unknown path is ignored (the helper may replay events). A completed
+    /// rename lifts any quarantine on the device.
     pub fn rename(&mut self, old_path: &str, new_path: impl Into<String>) {
         if let Some(device) = self.by_path.remove(old_path) {
+            self.quarantined.remove(&device);
             self.by_path.insert(new_path.into(), device);
         }
     }
@@ -114,6 +136,39 @@ mod tests {
         map.insert("/dev/snd", DeviceId::from_raw(2));
         assert_eq!(map.remove("/dev/snd"), Some(DeviceId::from_raw(2)));
         assert_eq!(map.remove("/dev/snd"), None);
+    }
+
+    #[test]
+    fn revoke_quarantines_until_reinserted() {
+        let mut map = DeviceMap::new();
+        let dev = DeviceId::from_raw(4);
+        map.insert("/dev/video0", dev);
+        assert_eq!(map.revoke("/dev/video0"), Some(dev));
+        assert!(map.is_quarantined(dev));
+        assert_eq!(map.lookup("/dev/video0"), None);
+
+        map.insert("/dev/video1", dev);
+        assert!(!map.is_quarantined(dev), "fresh mapping lifts quarantine");
+        assert_eq!(map.lookup("/dev/video1"), Some(dev));
+    }
+
+    #[test]
+    fn revoke_of_unknown_path_quarantines_nothing() {
+        let mut map = DeviceMap::new();
+        assert_eq!(map.revoke("/dev/ghost"), None);
+        assert!(!map.is_quarantined(DeviceId::from_raw(1)));
+    }
+
+    #[test]
+    fn rename_lifts_quarantine() {
+        let mut map = DeviceMap::new();
+        let dev = DeviceId::from_raw(5);
+        map.insert("/dev/a", dev);
+        map.revoke("/dev/a");
+        map.insert("/dev/a", dev); // helper re-announces the old path
+        map.rename("/dev/a", "/dev/b");
+        assert!(!map.is_quarantined(dev));
+        assert_eq!(map.lookup("/dev/b"), Some(dev));
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub mod syscall;
 pub mod task;
 pub mod vfs;
 
-use overhaul_sim::{AuditCategory, AuditLog, Clock, Pid, SimDuration, Timestamp, Uid};
+use std::collections::VecDeque;
+
+use overhaul_sim::{
+    AuditCategory, AuditLog, ChannelFault, Clock, FaultPlan, Pid, SimDuration, Timestamp, Uid,
+};
 
 use crate::devfs::DeviceMap;
 use crate::device::{DeviceClass, DeviceId, DeviceRegistry};
@@ -70,10 +74,12 @@ use crate::mm::MemoryManager;
 use crate::monitor::{
     AlertRequest, Decision, MonitorConfig, PermissionMonitor, ResourceOp, Verdict,
 };
-use crate::netlink::{ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply};
+use crate::netlink::{
+    ChannelState, ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply,
+};
 use crate::process::ProcessTable;
 use crate::ptrace::PtracePolicy;
-use crate::vfs::Vfs;
+use crate::vfs::{InodeKind, Vfs};
 
 pub use crate::error::SysResult as KernelResult;
 pub use crate::syscall::OpenMode;
@@ -107,6 +113,12 @@ pub struct KernelConfig {
     pub device_alerts: bool,
     /// Executable paths allowed to authenticate on the netlink channel.
     pub trusted_netlink_paths: Vec<String>,
+    /// How many times a lost channel message is retried before the sender
+    /// gives up and the channel is declared down.
+    pub channel_max_retries: u32,
+    /// Base virtual-time backoff between channel retries (doubles per
+    /// attempt).
+    pub channel_retry_backoff: SimDuration,
 }
 
 impl Default for KernelConfig {
@@ -119,6 +131,8 @@ impl Default for KernelConfig {
             ipc_propagation: true,
             device_alerts: true,
             trusted_netlink_paths: vec![XORG_PATH.to_string(), UDEV_HELPER_PATH.to_string()],
+            channel_max_retries: 3,
+            channel_retry_backoff: SimDuration::from_millis(10),
         }
     }
 }
@@ -152,6 +166,21 @@ pub struct Kernel {
     pub(crate) ptys: PtyTable,
     pub(crate) ptrace: PtracePolicy,
     pub(crate) audit: AuditLog,
+    /// Optional fault plan governing channel faults and boot-time stat
+    /// failures. `None` (the default) injects nothing.
+    fault: Option<FaultPlan>,
+    /// Whether mediation requires a live display channel: when set, every
+    /// decision while the channel is [`ChannelState::Down`] is a fail-closed
+    /// deny. Set by the system harness when it wires a channel-based
+    /// display manager; off for integrated designs.
+    channel_required: bool,
+    /// Alerts drained from the monitor but not yet delivered to the display
+    /// manager (lost in flight or awaiting a reconnect). Replayed on the
+    /// next successful drain — the structural exactly-once buffer.
+    push_buffer: VecDeque<AlertRequest>,
+    /// Notifications overtaken by later traffic: stashed here and delivered
+    /// after the next channel message completes.
+    reorder_buffer: Vec<(ConnId, u64, NetlinkMessage)>,
 }
 
 impl Kernel {
@@ -182,6 +211,10 @@ impl Kernel {
                 hardening_enabled: config.ptrace_hardening,
             },
             audit: AuditLog::new(),
+            fault: None,
+            channel_required: false,
+            push_buffer: VecDeque::new(),
+            reorder_buffer: Vec::new(),
             vfs,
             clock,
             config,
@@ -264,6 +297,40 @@ impl Kernel {
     /// The kernel-side sensitive-device path map.
     pub fn device_map(&self) -> &DeviceMap {
         &self.device_map
+    }
+
+    /// Installs a fault plan governing channel sends, kernel pushes, and
+    /// VM-map re-authentication.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Declares whether mediation depends on a live display channel. When
+    /// set, every permission decision taken while the channel is
+    /// [`ChannelState::Down`] is a fail-closed deny (and audited as such).
+    pub fn set_channel_required(&mut self, required: bool) {
+        self.channel_required = required;
+    }
+
+    /// Whether mediation fails closed while the display channel is down.
+    pub fn channel_required(&self) -> bool {
+        self.channel_required
+    }
+
+    /// Health of the kernel↔display-manager channel.
+    pub fn channel_state(&self) -> ChannelState {
+        self.netlink.state()
+    }
+
+    /// Alerts waiting kernel-side for the display manager: the monitor's
+    /// fresh queue plus the retained (lost-in-flight) push buffer.
+    pub fn pending_push_count(&self) -> usize {
+        self.monitor.pending_alert_count() + self.push_buffer.len()
     }
 
     /// In-kernel display-manager entry point (§III's integrated design):
@@ -368,6 +435,58 @@ impl Kernel {
         );
     }
 
+    /// Simulates udev renaming a device node with the trusted helper
+    /// propagating the change over the real netlink channel — so the update
+    /// is subject to the installed fault plan. The kernel revokes (and
+    /// quarantines) the old mapping *before* the helper's update is sent:
+    /// if the update is lost, the device stays unreachable (fail closed)
+    /// rather than reachable under a stale path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel errors from [`Kernel::netlink_send`]; on
+    /// [`NetlinkError::ChannelDown`] the device remains quarantined until a
+    /// later update gets through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old_path` does not exist or `new_path` is taken (harness
+    /// bug, as in [`Kernel::attach_device`]).
+    pub fn udev_rename_device_via_channel(
+        &mut self,
+        helper_conn: ConnId,
+        old_path: &str,
+        new_path: &str,
+    ) -> Result<(), NetlinkError> {
+        self.vfs
+            .rename(old_path, new_path)
+            .expect("udev rename: source node exists, target path free");
+        if self.device_map.revoke(old_path).is_some() {
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                None,
+                format!("devmap: {old_path} revoked; device quarantined pending helper update"),
+            );
+        }
+        let update = NetlinkMessage::DeviceMapUpdate {
+            old_path: old_path.to_string(),
+            new_path: new_path.to_string(),
+        };
+        match self.netlink_send(helper_conn, update) {
+            Ok(_) => Ok(()),
+            Err(err) => {
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    None,
+                    "devmap: helper update lost; device remains quarantined (fail closed)",
+                );
+                Err(err)
+            }
+        }
+    }
+
     /// Simulates udev renaming a device node while the trusted helper is
     /// *lagging*: the filesystem changes but the kernel map does not. Used
     /// by tests to demonstrate the design's dependence on the helper.
@@ -393,10 +512,27 @@ impl Kernel {
     /// Establishes an authenticated netlink connection for `pid`
     /// (VM-map introspection per §IV-B).
     ///
+    /// A connecting X server supersedes any previous display connection:
+    /// the stale [`ConnId`] is invalidated and the channel comes back up
+    /// (crash/restart recovery).
+    ///
     /// # Errors
     ///
-    /// See [`Netlink::connect`].
+    /// See [`Netlink::connect`]; additionally
+    /// [`NetlinkError::AuthTransient`] when the installed fault plan fails
+    /// the VFS stat backing the introspection (callers may retry).
     pub fn netlink_connect(&mut self, pid: Pid) -> Result<ConnId, NetlinkError> {
+        if self.fault.as_ref().is_some_and(|f| f.vfs_stat_fails()) {
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                Some(pid),
+                "netlink: VM-map authentication failed transiently (vfs stat fault)",
+            );
+            return Err(NetlinkError::AuthTransient);
+        }
+        let reconnects_before = self.netlink.display_reconnects();
+        let state_before = self.netlink.state();
         let conn = self.netlink.connect(&self.tasks, &self.vfs, pid)?;
         self.audit.record(
             self.clock.now(),
@@ -404,6 +540,25 @@ impl Kernel {
             Some(pid),
             "netlink: peer authenticated",
         );
+        if self.netlink.is_display(conn) {
+            if self.netlink.display_reconnects() > reconnects_before {
+                self.monitor.note_channel_reconnect();
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    Some(pid),
+                    "netlink: display channel re-authenticated",
+                );
+            }
+            if state_before != ChannelState::Up {
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    Some(pid),
+                    channel_transition_detail(state_before, ChannelState::Up),
+                );
+            }
+        }
         Ok(conn)
     }
 
@@ -413,13 +568,18 @@ impl Kernel {
     /// operation on the paper's testbed.
     pub const NETLINK_RTT_MICROS: u64 = 30;
 
-    /// Handles one userspace→kernel message on an established channel.
+    /// Handles one userspace→kernel message on an established channel,
+    /// subject to the installed fault plan: the message may be delayed,
+    /// duplicated (and deduplicated by sequence number), reordered behind
+    /// later traffic, or lost and retried with virtual-time backoff.
     ///
     /// # Errors
     ///
-    /// [`NetlinkError::UnknownConnection`] for unauthenticated senders; the
-    /// per-message semantics never fail (a query about a dead process is
-    /// answered with a deny).
+    /// [`NetlinkError::UnknownConnection`] for unauthenticated senders;
+    /// [`NetlinkError::ChannelDown`] when the message is lost and every
+    /// retry fails (the display channel then reads as down and mediation
+    /// fails closed). The per-message semantics never fail (a query about a
+    /// dead process is answered with a deny).
     pub fn netlink_send(
         &mut self,
         conn: ConnId,
@@ -427,6 +587,112 @@ impl Kernel {
     ) -> Result<NetlinkReply, NetlinkError> {
         overhaul_sim::work::spin_micros(Self::NETLINK_RTT_MICROS);
         self.netlink.authenticate(conn)?;
+        let seq = self.netlink.assign_seq(conn)?;
+
+        let mut attempt: u32 = 0;
+        let mut degraded = false;
+        let mut duplicated = false;
+        loop {
+            let fault = self
+                .fault
+                .as_ref()
+                .map_or(ChannelFault::Deliver, |f| f.next_channel_fault());
+            match fault {
+                ChannelFault::Deliver => break,
+                ChannelFault::Delay(d) => {
+                    self.clock.advance(d);
+                    degraded = true;
+                    self.audit.record(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        None,
+                        "channel: message delayed in flight",
+                    );
+                    break;
+                }
+                ChannelFault::Duplicate => {
+                    duplicated = true;
+                    degraded = true;
+                    break;
+                }
+                ChannelFault::Reorder
+                    if matches!(msg, NetlinkMessage::InteractionNotification { .. }) =>
+                {
+                    // The notification is overtaken by later traffic: stash
+                    // it and deliver it after the next message completes.
+                    // The sender sees a normal Ack.
+                    self.reorder_buffer.push((conn, seq, msg));
+                    self.channel_transition(conn, ChannelState::Degraded);
+                    self.audit.record(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        None,
+                        "channel: notification reordered behind later traffic",
+                    );
+                    return Ok(NetlinkReply::Ack);
+                }
+                ChannelFault::Drop | ChannelFault::Reorder => {
+                    attempt += 1;
+                    degraded = true;
+                    self.monitor.note_channel_retry();
+                    if attempt > self.config.channel_max_retries {
+                        self.monitor.note_channel_drop();
+                        self.channel_transition(conn, ChannelState::Down);
+                        self.audit.record(
+                            self.clock.now(),
+                            AuditCategory::ChannelEvent,
+                            None,
+                            "channel: message lost after retries; giving up",
+                        );
+                        return Err(NetlinkError::ChannelDown);
+                    }
+                    self.audit.record(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        None,
+                        "channel: message lost in flight; retrying",
+                    );
+                    let backoff = SimDuration::from_millis(
+                        self.config.channel_retry_backoff.as_millis() << (attempt - 1),
+                    );
+                    self.clock.advance(backoff);
+                }
+            }
+        }
+
+        let reply = self.netlink_deliver(conn, seq, msg.clone())?;
+        if duplicated {
+            // The second copy is suppressed by the sequence-number dedup.
+            let _ = self.netlink_deliver(conn, seq, msg)?;
+        }
+        let to = if degraded {
+            ChannelState::Degraded
+        } else {
+            ChannelState::Up
+        };
+        self.channel_transition(conn, to);
+        self.flush_reordered();
+        Ok(reply)
+    }
+
+    /// Delivers one in-order message to the kernel: idempotent on the
+    /// per-connection sequence number, then dispatches on the message kind.
+    fn netlink_deliver(
+        &mut self,
+        conn: ConnId,
+        seq: u64,
+        msg: NetlinkMessage,
+    ) -> Result<NetlinkReply, NetlinkError> {
+        if !self.netlink.mark_delivered(conn, seq)? {
+            self.monitor.note_dup_suppressed();
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                None,
+                "channel: duplicate delivery suppressed",
+            );
+            return Ok(NetlinkReply::Ack);
+        }
         match msg {
             NetlinkMessage::InteractionNotification { pid, at } => {
                 match self.monitor.record_interaction(&mut self.tasks, pid, at) {
@@ -457,38 +723,168 @@ impl Kernel {
                 Ok(NetlinkReply::QueryResponse(decision))
             }
             NetlinkMessage::DeviceMapUpdate { old_path, new_path } => {
-                if old_path.is_empty() {
-                    // New device: the helper is authoritative for the path,
-                    // but the device must already be registered; unknown
-                    // paths are ignored.
-                } else {
-                    self.device_map.rename(&old_path, &new_path);
+                if !old_path.is_empty() {
+                    // Fail closed: drop (and quarantine) the old mapping
+                    // before trusting anything about the new path.
+                    if self.device_map.revoke(&old_path).is_some() {
+                        self.audit.record(
+                            self.clock.now(),
+                            AuditCategory::ChannelEvent,
+                            None,
+                            "devmap: stale path revoked by helper update",
+                        );
+                    }
+                }
+                // Trust the new path only if it resolves to a registered
+                // device node right now; inserting clears any quarantine.
+                let device = self
+                    .vfs
+                    .resolve(&new_path)
+                    .and_then(|id| self.vfs.inode(id))
+                    .ok()
+                    .and_then(|inode| match inode.kind() {
+                        InodeKind::DeviceNode { device } => Some(*device),
+                        _ => None,
+                    });
+                if let Some(device) = device {
+                    self.device_map.insert(new_path, device);
                 }
                 Ok(NetlinkReply::Ack)
             }
         }
     }
 
+    /// Delivers notifications that were stashed by a reorder fault, now
+    /// that later traffic has overtaken them. A stashed message whose
+    /// connection died in the meantime is dropped (fail closed: losing a
+    /// notification can only deny, never grant).
+    fn flush_reordered(&mut self) {
+        if self.reorder_buffer.is_empty() {
+            return;
+        }
+        let stashed = std::mem::take(&mut self.reorder_buffer);
+        for (conn, seq, msg) in stashed {
+            if self.netlink.authenticate(conn).is_err() {
+                self.monitor.note_channel_drop();
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    None,
+                    "channel: reordered message dropped (connection gone)",
+                );
+                continue;
+            }
+            let _ = self.netlink_deliver(conn, seq, msg);
+        }
+    }
+
     /// Drains kernel→userspace pushes (visual-alert requests) for an
-    /// authenticated connection.
+    /// authenticated connection. Pushes are buffered kernel-side until a
+    /// drain actually delivers them: a push lost in flight (or orphaned by
+    /// an X-server crash) stays buffered and is replayed — exactly once —
+    /// on the next successful drain, including the drain restart-style
+    /// recovery performs after re-authentication.
     ///
     /// # Errors
     ///
     /// [`NetlinkError::UnknownConnection`] for unauthenticated callers.
     pub fn netlink_take_pushes(&mut self, conn: ConnId) -> Result<Vec<KernelPush>, NetlinkError> {
         self.netlink.authenticate(conn)?;
-        Ok(self
-            .monitor
-            .take_alerts()
-            .into_iter()
-            .map(KernelPush::DisplayAlert)
-            .collect())
+        self.push_buffer.extend(self.monitor.take_alerts());
+
+        let mut delivered = Vec::new();
+        let mut degraded = false;
+        // Reorder faults re-queue items, so bound the number of draws.
+        let mut budget = self.push_buffer.len().saturating_mul(2) + 4;
+        while let Some(alert) = self.push_buffer.pop_front() {
+            if budget == 0 {
+                self.push_buffer.push_front(alert);
+                break;
+            }
+            budget -= 1;
+            let fault = self
+                .fault
+                .as_ref()
+                .map_or(ChannelFault::Deliver, |f| f.next_channel_fault());
+            match fault {
+                ChannelFault::Deliver => delivered.push(KernelPush::DisplayAlert(alert)),
+                ChannelFault::Delay(d) => {
+                    self.clock.advance(d);
+                    degraded = true;
+                    delivered.push(KernelPush::DisplayAlert(alert));
+                }
+                ChannelFault::Duplicate => {
+                    // The duplicate copy is suppressed receiver-side;
+                    // deliver once and count the suppression.
+                    self.monitor.note_dup_suppressed();
+                    degraded = true;
+                    delivered.push(KernelPush::DisplayAlert(alert));
+                }
+                ChannelFault::Drop => {
+                    // Lost in flight: keep it buffered for the next drain
+                    // (or for post-restart replay) — never lost for good.
+                    self.monitor.note_channel_retry();
+                    degraded = true;
+                    self.audit.record(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        None,
+                        "channel: alert push lost in flight; retained for replay",
+                    );
+                    self.push_buffer.push_front(alert);
+                    break;
+                }
+                ChannelFault::Reorder => {
+                    degraded = true;
+                    self.push_buffer.push_back(alert);
+                }
+            }
+        }
+        // Only a real exchange says anything about channel health: an
+        // empty fault-free drain must not "heal" a down channel.
+        if degraded {
+            self.channel_transition(conn, ChannelState::Degraded);
+        } else if !delivered.is_empty() {
+            self.channel_transition(conn, ChannelState::Up);
+        }
+        Ok(delivered)
+    }
+
+    /// Audits a display-channel state transition (no-op unless `conn` is
+    /// the display connection and the state actually changes).
+    fn channel_transition(&mut self, conn: ConnId, to: ChannelState) {
+        if let Some((from, to)) = self.netlink.transition_display(conn, to) {
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                None,
+                channel_transition_detail(from, to),
+            );
+        }
     }
 
     /// Runs a permission decision for `pid` performing `op` at `at`,
     /// recording audit events. Used by the device-open path internally and
     /// by netlink queries from the display manager.
+    ///
+    /// When the kernel is wired to an external display manager
+    /// (`channel_required`) and that channel is down, the decision is a
+    /// fail-closed deny: no authentic interaction evidence can be reaching
+    /// the monitor, so nothing may be granted.
     pub(crate) fn decide(&mut self, pid: Pid, at: Timestamp, op: ResourceOp) -> Decision {
+        if self.channel_required && self.netlink.state() == ChannelState::Down {
+            self.monitor.note_fail_closed();
+            self.audit.record(
+                at,
+                AuditCategory::PermissionDenied,
+                Some(pid),
+                channel_down_detail(op),
+            );
+            return Decision {
+                verdict: Verdict::Deny,
+                reason: monitor::DecisionReason::ChannelDown,
+            };
+        }
         let decision = match self.monitor.check(&self.tasks, pid, at) {
             Ok(d) => d,
             Err(_) => Decision {
@@ -558,8 +954,17 @@ impl Kernel {
             procfs::STATS => {
                 let s = self.monitor.stats();
                 Ok(format!(
-                    "notifications={} grants={} denies={}",
-                    s.notifications, s.grants, s.denies
+                    "notifications={} grants={} denies={} retries={} drops={} \
+                     reconnects={} dup_suppressed={} fail_closed={} alerts_queued={}",
+                    s.notifications,
+                    s.grants,
+                    s.denies,
+                    s.channel_retries,
+                    s.channel_drops,
+                    s.channel_reconnects,
+                    s.channel_dup_suppressed,
+                    s.fail_closed_denies,
+                    s.alerts_queued
                 ))
             }
             _ => Err(Errno::Enoent),
@@ -621,6 +1026,31 @@ fn decision_detail(op: ResourceOp, granted: bool) -> &'static str {
         (ResourceOp::Copy, false) => "op=copy denied",
         (ResourceOp::Paste, true) => "op=paste granted",
         (ResourceOp::Paste, false) => "op=paste denied",
+    }
+}
+
+/// Allocation-free audit detail for a fail-closed (channel-down) denial.
+fn channel_down_detail(op: ResourceOp) -> &'static str {
+    match op {
+        ResourceOp::Mic => "op=mic denied (channel down)",
+        ResourceOp::Cam => "op=cam denied (channel down)",
+        ResourceOp::Sensor => "op=sensor denied (channel down)",
+        ResourceOp::Screen => "op=scr denied (channel down)",
+        ResourceOp::Copy => "op=copy denied (channel down)",
+        ResourceOp::Paste => "op=paste denied (channel down)",
+    }
+}
+
+/// Allocation-free audit detail for a display-channel state transition.
+fn channel_transition_detail(from: ChannelState, to: ChannelState) -> &'static str {
+    match (from, to) {
+        (ChannelState::Up, ChannelState::Degraded) => "channel state: up -> degraded",
+        (ChannelState::Up, ChannelState::Down) => "channel state: up -> down",
+        (ChannelState::Degraded, ChannelState::Up) => "channel state: degraded -> up",
+        (ChannelState::Degraded, ChannelState::Down) => "channel state: degraded -> down",
+        (ChannelState::Down, ChannelState::Up) => "channel state: down -> up",
+        (ChannelState::Down, ChannelState::Degraded) => "channel state: down -> degraded",
+        _ => "channel state: unchanged",
     }
 }
 
@@ -762,6 +1192,189 @@ mod tests {
             .unwrap();
         assert_eq!(k.device_map().lookup("/dev/snd/mic1"), Some(id));
         assert_eq!(k.device_map().lookup("/dev/snd/mic0"), None);
+    }
+
+    use overhaul_sim::FaultSpec;
+
+    #[test]
+    fn dropped_messages_exhaust_retries_and_fail_closed() {
+        let mut k = kernel();
+        k.install_fault_plan(FaultPlan::new(FaultSpec::quiet(1).with_drop_p(1.0)));
+        k.set_channel_required(true);
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        assert_eq!(k.channel_state(), ChannelState::Up);
+
+        let err = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::InteractionNotification {
+                    pid: app,
+                    at: Timestamp::from_millis(1),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, NetlinkError::ChannelDown);
+        assert_eq!(k.channel_state(), ChannelState::Down);
+
+        // Every decision while down is a fail-closed deny, audited.
+        let d = k.decide_direct(app, k.now(), ResourceOp::Mic);
+        assert_eq!(d.reason, monitor::DecisionReason::ChannelDown);
+        let s = k.monitor_stats();
+        assert!(s.channel_retries >= 3);
+        assert_eq!(s.channel_drops, 1);
+        assert_eq!(s.fail_closed_denies, 1);
+        assert_eq!(s.denies, 1);
+        assert_eq!(k.audit().matching("(channel down)").count(), 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_by_seq_dedup() {
+        let mut k = kernel();
+        k.install_fault_plan(FaultPlan::new(FaultSpec::quiet(2).with_duplicate_p(1.0)));
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        k.netlink_send(
+            conn,
+            NetlinkMessage::InteractionNotification {
+                pid: app,
+                at: Timestamp::from_millis(100),
+            },
+        )
+        .unwrap();
+        let s = k.monitor_stats();
+        assert_eq!(s.notifications, 1, "second copy suppressed");
+        assert_eq!(s.channel_dup_suppressed, 1);
+        assert_eq!(k.channel_state(), ChannelState::Degraded);
+    }
+
+    #[test]
+    fn reordered_notification_lands_after_later_traffic() {
+        let mut k = kernel();
+        let plan = FaultPlan::new(FaultSpec::quiet(3).with_reorder_p(1.0));
+        k.install_fault_plan(plan.clone());
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+
+        // The notification is stashed; the sender still sees an Ack.
+        let reply = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::InteractionNotification {
+                    pid: app,
+                    at: Timestamp::from_millis(100),
+                },
+            )
+            .unwrap();
+        assert_eq!(reply, NetlinkReply::Ack);
+        assert_eq!(k.monitor_stats().notifications, 0, "not delivered yet");
+
+        // The next message overtakes it: the query is answered *before* the
+        // notification arrives, so it must deny.
+        plan.set_armed(false);
+        let reply = k
+            .netlink_send(
+                conn,
+                NetlinkMessage::PermissionQuery {
+                    pid: app,
+                    op: ResourceOp::Paste,
+                    at: Timestamp::from_millis(200),
+                },
+            )
+            .unwrap();
+        match reply {
+            NetlinkReply::QueryResponse(d) => assert!(!d.verdict.is_grant()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // ... and afterwards the stashed notification was flushed.
+        assert_eq!(k.monitor_stats().notifications, 1);
+    }
+
+    #[test]
+    fn delayed_message_advances_virtual_time_and_degrades() {
+        let mut k = kernel();
+        k.install_fault_plan(FaultPlan::new(
+            FaultSpec::quiet(4)
+                .with_delay_p(1.0)
+                .with_delay_window(SimDuration::from_millis(20), SimDuration::from_millis(21)),
+        ));
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        let before = k.now();
+        k.netlink_send(
+            conn,
+            NetlinkMessage::InteractionNotification { pid: x, at: before },
+        )
+        .unwrap();
+        assert_eq!(
+            k.now().saturating_since(before),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(k.channel_state(), ChannelState::Degraded);
+    }
+
+    #[test]
+    fn dropped_pushes_stay_buffered_until_redelivered() {
+        let mut k = kernel();
+        let plan = FaultPlan::new(FaultSpec::quiet(5).with_drop_p(1.0));
+        k.install_fault_plan(plan.clone());
+        let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
+        let conn = k.netlink_connect(x).unwrap();
+        k.queue_device_alert(x, ResourceOp::Cam, false, k.now());
+        assert_eq!(k.pending_push_count(), 1);
+
+        let delivered = k.netlink_take_pushes(conn).unwrap();
+        assert!(delivered.is_empty(), "push lost in flight");
+        assert_eq!(k.pending_push_count(), 1, "still buffered kernel-side");
+
+        plan.set_armed(false);
+        let delivered = k.netlink_take_pushes(conn).unwrap();
+        assert_eq!(delivered.len(), 1, "replayed exactly once");
+        assert_eq!(k.pending_push_count(), 0);
+        let s = k.monitor_stats();
+        assert_eq!(s.alerts_queued, 1);
+    }
+
+    #[test]
+    fn channel_down_rename_keeps_device_quarantined() {
+        let mut k = kernel();
+        let id = k.attach_device(DeviceClass::Microphone, "mic", "/dev/snd/mic0");
+        let helper = k.sys_spawn(Pid::INIT, UDEV_HELPER_PATH).unwrap();
+        let conn = k.netlink_connect(helper).unwrap();
+        let plan = FaultPlan::new(FaultSpec::quiet(6).with_drop_p(1.0));
+        k.install_fault_plan(plan.clone());
+
+        let err = k
+            .udev_rename_device_via_channel(conn, "/dev/snd/mic0", "/dev/snd/mic1")
+            .unwrap_err();
+        assert_eq!(err, NetlinkError::ChannelDown);
+        assert_eq!(k.device_map().lookup("/dev/snd/mic0"), None, "revoked");
+        assert_eq!(k.device_map().lookup("/dev/snd/mic1"), None, "not trusted");
+        assert!(k.device_map().is_quarantined(id));
+
+        // A later update that gets through restores the mapping.
+        plan.set_armed(false);
+        k.netlink_send(
+            conn,
+            NetlinkMessage::DeviceMapUpdate {
+                old_path: String::new(),
+                new_path: "/dev/snd/mic1".to_string(),
+            },
+        )
+        .unwrap();
+        assert_eq!(k.device_map().lookup("/dev/snd/mic1"), Some(id));
+        assert!(!k.device_map().is_quarantined(id));
+    }
+
+    #[test]
+    fn procfs_stats_exposes_channel_counters() {
+        let k = kernel();
+        let stats = k.sys_procfs_read(procfs::STATS).unwrap();
+        assert!(stats.contains("retries=0"));
+        assert!(stats.contains("fail_closed=0"));
     }
 
     #[test]

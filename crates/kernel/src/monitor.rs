@@ -86,6 +86,9 @@ pub enum DecisionReason {
     },
     /// Denied: ptrace hardening froze this task's permissions.
     PermissionsFrozen,
+    /// Denied: the kernel↔display-manager channel is down, so no authentic
+    /// interaction evidence can reach the monitor — fail closed.
+    ChannelDown,
 }
 
 /// The monitor's answer to a permission query.
@@ -142,6 +145,19 @@ pub struct MonitorStats {
     pub grants: u64,
     /// Queries answered `Deny`.
     pub denies: u64,
+    /// Channel messages that needed at least one retry to get through.
+    pub channel_retries: u64,
+    /// Channel messages lost for good (all retries exhausted).
+    pub channel_drops: u64,
+    /// Times a restarted display manager re-authenticated the channel.
+    pub channel_reconnects: u64,
+    /// Duplicate channel deliveries suppressed by sequence-number dedup.
+    pub channel_dup_suppressed: u64,
+    /// Denials issued purely because the channel was down (fail closed).
+    /// Every one of these is also counted in `denies`.
+    pub fail_closed_denies: u64,
+    /// Visual-alert requests queued for the display manager.
+    pub alerts_queued: u64,
 }
 
 /// The kernel permission monitor.
@@ -273,8 +289,36 @@ impl PermissionMonitor {
         Ok(decision)
     }
 
+    /// Records a channel message retry.
+    pub fn note_channel_retry(&mut self) {
+        self.stats.channel_retries += 1;
+    }
+
+    /// Records a channel message lost after exhausting its retries.
+    pub fn note_channel_drop(&mut self) {
+        self.stats.channel_drops += 1;
+    }
+
+    /// Records a display-manager channel re-authentication.
+    pub fn note_channel_reconnect(&mut self) {
+        self.stats.channel_reconnects += 1;
+    }
+
+    /// Records a duplicate delivery suppressed by sequence-number dedup.
+    pub fn note_dup_suppressed(&mut self) {
+        self.stats.channel_dup_suppressed += 1;
+    }
+
+    /// Records a denial issued because the channel was down (fail closed).
+    /// Counts in both `fail_closed_denies` and the overall `denies`.
+    pub fn note_fail_closed(&mut self) {
+        self.stats.fail_closed_denies += 1;
+        self.stats.denies += 1;
+    }
+
     /// Queues a visual alert request `V_{A,op}` for the display manager.
     pub fn request_alert(&mut self, alert: AlertRequest) {
+        self.stats.alerts_queued += 1;
         self.pending_alerts.push(alert);
     }
 
@@ -433,6 +477,38 @@ mod tests {
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].op, ResourceOp::Cam);
         assert_eq!(monitor.pending_alert_count(), 0);
+    }
+
+    #[test]
+    fn channel_counters_accumulate() {
+        let (mut monitor, _, _) = setup();
+        monitor.note_channel_retry();
+        monitor.note_channel_retry();
+        monitor.note_channel_drop();
+        monitor.note_channel_reconnect();
+        monitor.note_dup_suppressed();
+        monitor.note_fail_closed();
+        let stats = monitor.stats();
+        assert_eq!(stats.channel_retries, 2);
+        assert_eq!(stats.channel_drops, 1);
+        assert_eq!(stats.channel_reconnects, 1);
+        assert_eq!(stats.channel_dup_suppressed, 1);
+        assert_eq!(stats.fail_closed_denies, 1);
+        assert_eq!(stats.denies, 1, "fail-closed denials count as denials");
+    }
+
+    #[test]
+    fn queued_alerts_are_counted() {
+        let (mut monitor, _, pid) = setup();
+        monitor.request_alert(AlertRequest {
+            pid,
+            process_name: "spy".into(),
+            op: ResourceOp::Mic,
+            granted: true,
+            at: Timestamp::from_millis(1),
+        });
+        monitor.take_alerts();
+        assert_eq!(monitor.stats().alerts_queued, 1, "survives the drain");
     }
 
     #[test]

@@ -11,8 +11,17 @@
 //! performs that introspection against the process table and VFS. Messages
 //! from unauthenticated connections are rejected, which is what the
 //! malicious-interposer tests exercise.
+//!
+//! On top of the registry sits the channel's failure model: every
+//! connection carries per-message sequence numbers with an idempotent
+//! delivery record (so duplicated deliveries are suppressed), and the
+//! registry tracks the health of the display-manager channel as an explicit
+//! [`ChannelState`] machine that the permission monitor consults to fail
+//! closed while the channel is down. Connections are invalidated *eagerly*
+//! from the process-exit path — a recycled pid can never inherit an
+//! authenticated channel.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use overhaul_sim::{Pid, Timestamp};
@@ -36,6 +45,29 @@ impl ConnId {
 impl fmt::Display for ConnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "nl:{}", self.0)
+    }
+}
+
+/// Health of the kernel↔display-manager channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelState {
+    /// Messages are delivered cleanly.
+    Up,
+    /// Messages are getting through, but only after retries, delays, or
+    /// duplicate suppression.
+    Degraded,
+    /// No authenticated display-manager connection is delivering messages;
+    /// the permission monitor fails closed.
+    Down,
+}
+
+impl fmt::Display for ChannelState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChannelState::Up => "up",
+            ChannelState::Degraded => "degraded",
+            ChannelState::Down => "down",
+        })
     }
 }
 
@@ -95,6 +127,12 @@ pub enum NetlinkError {
     UntrustedPeer,
     /// The connection id is not registered.
     UnknownConnection,
+    /// The message was lost in flight and every retry failed; the channel
+    /// is down and the sender must treat the exchange as failed (closed).
+    ChannelDown,
+    /// VM-map introspection could not complete because a filesystem stat
+    /// failed transiently; the caller may retry authentication.
+    AuthTransient,
 }
 
 impl fmt::Display for NetlinkError {
@@ -103,15 +141,24 @@ impl fmt::Display for NetlinkError {
             NetlinkError::NoSuchProcess => "netlink peer process does not exist",
             NetlinkError::UntrustedPeer => "netlink peer failed VM-map authentication",
             NetlinkError::UnknownConnection => "unknown netlink connection",
+            NetlinkError::ChannelDown => "netlink message lost after retries; channel down",
+            NetlinkError::AuthTransient => "netlink authentication failed transiently",
         })
     }
 }
 
 impl std::error::Error for NetlinkError {}
 
+/// How many delivered sequence numbers each connection remembers for
+/// duplicate suppression.
+const DELIVERY_RECORD: usize = 64;
+
 #[derive(Debug, Clone)]
 struct Connection {
     pid: Pid,
+    is_display: bool,
+    next_seq: u64,
+    delivered: BTreeSet<u64>,
 }
 
 /// Registry of authenticated kernel↔userspace channels.
@@ -120,6 +167,10 @@ pub struct Netlink {
     connections: BTreeMap<ConnId, Connection>,
     next: u32,
     trusted_exe_paths: Vec<String>,
+    display_conn: Option<ConnId>,
+    display_state: ChannelState,
+    had_display: bool,
+    display_reconnects: u64,
 }
 
 impl Netlink {
@@ -130,6 +181,10 @@ impl Netlink {
             connections: BTreeMap::new(),
             next: 0,
             trusted_exe_paths,
+            display_conn: None,
+            display_state: ChannelState::Down,
+            had_display: false,
+            display_reconnects: 0,
         }
     }
 
@@ -144,6 +199,10 @@ impl Netlink {
     /// must be one of the well-known trusted paths, and that binary must be
     /// owned by the superuser in the filesystem (so a user cannot drop a
     /// fake `Xorg` somewhere and connect).
+    ///
+    /// A connecting X server supersedes any previous display connection:
+    /// the old [`ConnId`] is invalidated (restart recovery), the new one
+    /// becomes the display channel, and the channel comes up.
     ///
     /// # Errors
     ///
@@ -170,9 +229,29 @@ impl Netlink {
         if !owner.is_root() {
             return Err(NetlinkError::UntrustedPeer);
         }
+        let is_display = exe == crate::XORG_PATH;
         self.next += 1;
         let id = ConnId(self.next);
-        self.connections.insert(id, Connection { pid });
+        self.connections.insert(
+            id,
+            Connection {
+                pid,
+                is_display,
+                next_seq: 0,
+                delivered: BTreeSet::new(),
+            },
+        );
+        if is_display {
+            if let Some(old) = self.display_conn.take() {
+                self.connections.remove(&old);
+            }
+            if self.had_display {
+                self.display_reconnects += 1;
+            }
+            self.had_display = true;
+            self.display_conn = Some(id);
+            self.display_state = ChannelState::Up;
+        }
         Ok(id)
     }
 
@@ -189,14 +268,113 @@ impl Netlink {
         self.peer(conn)
     }
 
+    /// Whether `conn` is the current display-manager connection.
+    pub fn is_display(&self, conn: ConnId) -> bool {
+        self.display_conn == Some(conn)
+    }
+
+    /// Health of the display-manager channel.
+    pub fn state(&self) -> ChannelState {
+        self.display_state
+    }
+
+    /// Times a new display connection superseded an earlier one.
+    pub fn display_reconnects(&self) -> u64 {
+        self.display_reconnects
+    }
+
+    /// Assigns the next per-connection sequence number for an outgoing
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlinkError::UnknownConnection`] for unestablished connections.
+    pub fn assign_seq(&mut self, conn: ConnId) -> Result<u64, NetlinkError> {
+        let c = self
+            .connections
+            .get_mut(&conn)
+            .ok_or(NetlinkError::UnknownConnection)?;
+        c.next_seq += 1;
+        Ok(c.next_seq)
+    }
+
+    /// Records that `seq` was delivered on `conn`. Returns `false` if it
+    /// was already delivered (a duplicate to be suppressed). The record is
+    /// bounded: only the last [`DELIVERY_RECORD`] sequence numbers are
+    /// remembered.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlinkError::UnknownConnection`] for unestablished connections.
+    pub fn mark_delivered(&mut self, conn: ConnId, seq: u64) -> Result<bool, NetlinkError> {
+        let c = self
+            .connections
+            .get_mut(&conn)
+            .ok_or(NetlinkError::UnknownConnection)?;
+        let fresh = c.delivered.insert(seq);
+        while c.delivered.len() > DELIVERY_RECORD {
+            c.delivered.pop_first();
+        }
+        Ok(fresh)
+    }
+
+    /// Moves the display channel to `to` if `conn` is the display
+    /// connection and the state actually changes, returning the transition.
+    pub(crate) fn transition_display(
+        &mut self,
+        conn: ConnId,
+        to: ChannelState,
+    ) -> Option<(ChannelState, ChannelState)> {
+        if self.display_conn != Some(conn) {
+            return None;
+        }
+        let from = self.display_state;
+        if from == to {
+            return None;
+        }
+        self.display_state = to;
+        Some((from, to))
+    }
+
     /// Tears down a connection (peer exit).
     pub fn disconnect(&mut self, conn: ConnId) {
         self.connections.remove(&conn);
+        if self.display_conn == Some(conn) {
+            self.display_conn = None;
+            self.display_state = ChannelState::Down;
+        }
     }
 
-    /// Drops every connection whose peer is no longer running.
+    /// Eagerly invalidates every connection whose peer is `pid` (called
+    /// from the process-exit path, so a stale — or recycled — pid can never
+    /// use an authenticated channel). Returns `(dropped, display_lost)`:
+    /// how many connections were removed and whether the display channel
+    /// went down.
+    pub fn invalidate_peer(&mut self, pid: Pid) -> (usize, bool) {
+        let before = self.connections.len();
+        self.connections.retain(|_, c| c.pid != pid);
+        let dropped = before - self.connections.len();
+        let display_lost = self
+            .display_conn
+            .is_some_and(|conn| !self.connections.contains_key(&conn));
+        if display_lost {
+            self.display_conn = None;
+            self.display_state = ChannelState::Down;
+        }
+        (dropped, display_lost)
+    }
+
+    /// Drops every connection whose peer is no longer running (periodic
+    /// scan; retained as a belt-and-braces sweep on top of the eager
+    /// exit-path invalidation).
     pub fn reap_dead_peers(&mut self, tasks: &ProcessTable) {
         self.connections.retain(|_, c| tasks.is_running(c.pid));
+        if let Some(conn) = self.display_conn {
+            if !self.connections.contains_key(&conn) {
+                self.display_conn = None;
+                self.display_state = ChannelState::Down;
+            }
+        }
     }
 
     /// Number of live connections.
@@ -227,6 +405,8 @@ mod tests {
         let conn = netlink.connect(&tasks, &vfs, x).unwrap();
         assert_eq!(netlink.peer(conn).unwrap(), x);
         assert_eq!(netlink.connection_count(), 1);
+        assert!(netlink.is_display(conn));
+        assert_eq!(netlink.state(), ChannelState::Up);
     }
 
     #[test]
@@ -294,6 +474,7 @@ mod tests {
         tasks.exit(x, 0).unwrap();
         netlink.reap_dead_peers(&tasks);
         assert_eq!(netlink.peer(conn), Err(NetlinkError::UnknownConnection));
+        assert_eq!(netlink.state(), ChannelState::Down);
     }
 
     #[test]
@@ -304,5 +485,84 @@ mod tests {
         netlink.disconnect(conn);
         netlink.disconnect(conn);
         assert_eq!(netlink.connection_count(), 0);
+        assert_eq!(netlink.state(), ChannelState::Down);
+    }
+
+    #[test]
+    fn invalidate_peer_is_eager_and_downs_the_channel() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        let (dropped, display_lost) = netlink.invalidate_peer(x);
+        assert_eq!(dropped, 1);
+        assert!(display_lost);
+        assert_eq!(netlink.peer(conn), Err(NetlinkError::UnknownConnection));
+        assert_eq!(netlink.state(), ChannelState::Down);
+        // Idempotent.
+        assert_eq!(netlink.invalidate_peer(x), (0, false));
+    }
+
+    #[test]
+    fn sequence_numbers_deduplicate_deliveries() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        let s1 = netlink.assign_seq(conn).unwrap();
+        let s2 = netlink.assign_seq(conn).unwrap();
+        assert_ne!(s1, s2);
+        assert!(netlink.mark_delivered(conn, s1).unwrap());
+        assert!(!netlink.mark_delivered(conn, s1).unwrap(), "duplicate");
+        assert!(netlink.mark_delivered(conn, s2).unwrap());
+    }
+
+    #[test]
+    fn delivery_record_is_bounded() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        for _ in 0..(DELIVERY_RECORD as u64 + 32) {
+            let seq = netlink.assign_seq(conn).unwrap();
+            assert!(netlink.mark_delivered(conn, seq).unwrap());
+        }
+    }
+
+    #[test]
+    fn display_reconnect_invalidates_the_old_conn() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x1 = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let old = netlink.connect(&tasks, &vfs, x1).unwrap();
+        tasks.exit(x1, 139).unwrap();
+        netlink.invalidate_peer(x1);
+        assert_eq!(netlink.state(), ChannelState::Down);
+
+        let x2 = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let new = netlink.connect(&tasks, &vfs, x2).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(netlink.peer(old), Err(NetlinkError::UnknownConnection));
+        assert!(netlink.is_display(new));
+        assert_eq!(netlink.state(), ChannelState::Up);
+        assert_eq!(netlink.display_reconnects(), 1);
+    }
+
+    #[test]
+    fn transition_only_applies_to_the_display_conn() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        assert_eq!(
+            netlink.transition_display(conn, ChannelState::Degraded),
+            Some((ChannelState::Up, ChannelState::Degraded))
+        );
+        // Same state: no transition reported.
+        assert_eq!(
+            netlink.transition_display(conn, ChannelState::Degraded),
+            None
+        );
+        // A non-display conn id does not move the machine.
+        assert_eq!(
+            netlink.transition_display(ConnId(999), ChannelState::Down),
+            None
+        );
+        assert_eq!(netlink.state(), ChannelState::Degraded);
     }
 }

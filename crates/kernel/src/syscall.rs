@@ -30,6 +30,7 @@ use crate::ipc::unix_socket::SocketEnd;
 use crate::ipc::{adopt_on_receive, embed_on_send};
 use crate::mm::{AccessKind, AccessPath, VmaId};
 use crate::monitor::ResourceOp;
+use crate::netlink::ChannelState;
 use crate::task::FileDescription;
 use crate::vfs::{InodeKind, Stat};
 use crate::Kernel;
@@ -155,7 +156,30 @@ impl Kernel {
         for vma in self.mm.unmap_all_for(pid) {
             self.shm.detach(vma.shm());
         }
-        self.netlink_reap();
+        // Eager netlink invalidation: the exiting process's channels die
+        // with it, here and now, so a later process recycling this pid can
+        // never inherit an authenticated connection.
+        let state_before = self.netlink.state();
+        let (dropped, display_lost) = self.netlink.invalidate_peer(pid);
+        if dropped > 0 {
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                Some(pid),
+                "netlink: connections invalidated on process exit",
+            );
+        }
+        if display_lost && state_before != ChannelState::Down {
+            self.audit.record(
+                self.clock.now(),
+                AuditCategory::ChannelEvent,
+                Some(pid),
+                match state_before {
+                    ChannelState::Up => "channel state: up -> down (display manager exited)",
+                    _ => "channel state: degraded -> down (display manager exited)",
+                },
+            );
+        }
         Ok(())
     }
 
@@ -232,11 +256,6 @@ impl Kernel {
         policy.detach(&mut self.tasks, tracer, tracee)
     }
 
-    fn netlink_reap(&mut self) {
-        // Netlink connections die with their peer processes.
-        self.netlink.reap_dead_peers(&self.tasks);
-    }
-
     // ===============================================================
     // File syscalls
     // ===============================================================
@@ -278,9 +297,31 @@ impl Kernel {
                         if !decision.verdict.is_grant() {
                             return Err(Errno::Eacces);
                         }
+                    } else if self.device_map.is_quarantined(device) {
+                        // The helper revoked this device's old path and its
+                        // update for the new one has not arrived: the device
+                        // is unreachable until the map converges — denied
+                        // without consulting the monitor (fail closed), and
+                        // audited/alerted like any other deny.
+                        let now = self.clock.now();
+                        let op = match self.devices.get(device)?.class() {
+                            DeviceClass::Microphone => ResourceOp::Mic,
+                            DeviceClass::Camera => ResourceOp::Cam,
+                            DeviceClass::Sensor => ResourceOp::Sensor,
+                        };
+                        self.monitor.note_fail_closed();
+                        self.audit.record(
+                            now,
+                            AuditCategory::PermissionDenied,
+                            Some(pid),
+                            "device open denied (quarantined pending helper update)",
+                        );
+                        self.queue_device_alert(pid, op, false, now);
+                        return Err(Errno::Eacces);
                     }
-                    // Device node unknown to the helper map: mediation is
-                    // skipped (the documented helper-lag gap).
+                    // Device node unknown to the helper map (and not
+                    // quarantined): mediation is skipped — the documented
+                    // helper-lag gap.
                 }
                 self.devices.record_open(device)?;
                 Ok(self

@@ -42,6 +42,9 @@ pub enum AuditCategory {
     /// ptrace hardening intervened (permissions of a traced process frozen,
     /// or an attach rejected).
     PtraceHardening,
+    /// The kernel↔display-manager channel changed health (retry, loss,
+    /// state transition, reconnect) or a fault was injected into it.
+    ChannelEvent,
     /// Free-form informational event from a harness or app.
     Info,
 }
@@ -58,6 +61,7 @@ impl fmt::Display for AuditCategory {
             AuditCategory::InteractionPropagated => "interaction-propagated",
             AuditCategory::ProtocolAttackBlocked => "protocol-attack-blocked",
             AuditCategory::PtraceHardening => "ptrace-hardening",
+            AuditCategory::ChannelEvent => "channel-event",
             AuditCategory::Info => "info",
         };
         f.write_str(name)

@@ -1,0 +1,389 @@
+//! Deterministic fault injection for the kernel↔display-manager channel.
+//!
+//! The paper's security argument rests on the authenticated netlink channel
+//! (§IV-B) staying trustworthy; related trusted-path work stresses that it
+//! must stay trustworthy *across component failure*. This module provides
+//! the failure model: a seeded [`FaultPlan`], driven by the same
+//! deterministic substrate as everything else, that decides per message
+//! whether the channel drops, delays, duplicates, or reorders it, whether a
+//! VFS `stat` fails transiently during channel (re-)authentication, and at
+//! which virtual times the X server crashes. Because the plan is a pure
+//! function of its seed, every fault scenario is replayable bit-for-bit.
+//!
+//! The plan is a shared handle (like [`crate::Clock`]): the kernel holds one
+//! clone for channel sends, the system harness holds another for scheduled
+//! crashes, and both observe the same deterministic stream.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, Timestamp};
+
+/// The fate of one channel message, drawn from a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelFault {
+    /// The message arrives intact, on time.
+    Deliver,
+    /// The message is lost in flight (the sender must retry or give up).
+    Drop,
+    /// The message arrives after the given extra in-flight time.
+    Delay(SimDuration),
+    /// The message arrives twice (receivers must deduplicate).
+    Duplicate,
+    /// The message overtakes / is overtaken by later traffic.
+    Reorder,
+}
+
+/// Plain-data description of a fault scenario. Lives in configuration
+/// (`OverhaulConfig`), compiles into a [`FaultPlan`] at boot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the fault stream. The same spec always produces the same
+    /// faults at the same points.
+    pub seed: u64,
+    /// Probability that a channel message is dropped in flight.
+    pub drop_p: f64,
+    /// Probability that a channel message is delayed in flight.
+    pub delay_p: f64,
+    /// Probability that a channel message is duplicated in flight.
+    pub duplicate_p: f64,
+    /// Probability that a channel message is reordered behind later traffic.
+    pub reorder_p: f64,
+    /// Lower bound of an injected in-flight delay.
+    pub delay_min: SimDuration,
+    /// Upper bound (exclusive) of an injected in-flight delay.
+    pub delay_max: SimDuration,
+    /// Probability that a VFS `stat` fails transiently while the kernel
+    /// re-runs VM-map authentication for a (re)connecting peer.
+    pub vfs_stat_fail_p: f64,
+    /// Virtual times at which the X server crashes (each fires once).
+    pub x_crash_at: Vec<Timestamp>,
+}
+
+impl FaultSpec {
+    /// A plan that injects nothing: all probabilities zero, no scheduled
+    /// crashes. The baseline for builder-style customization.
+    pub fn quiet(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            delay_min: SimDuration::from_millis(10),
+            delay_max: SimDuration::from_millis(50),
+            vfs_stat_fail_p: 0.0,
+            x_crash_at: Vec::new(),
+        }
+    }
+
+    /// Sets the message-drop probability (builder style).
+    pub fn with_drop_p(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the message-delay probability (builder style).
+    pub fn with_delay_p(mut self, p: f64) -> Self {
+        self.delay_p = p;
+        self
+    }
+
+    /// Sets the message-duplication probability (builder style).
+    pub fn with_duplicate_p(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Sets the message-reorder probability (builder style).
+    pub fn with_reorder_p(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Sets the injected-delay window `[min, max)` (builder style).
+    pub fn with_delay_window(mut self, min: SimDuration, max: SimDuration) -> Self {
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Sets the transient-VFS-stat-failure probability (builder style).
+    pub fn with_vfs_stat_fail_p(mut self, p: f64) -> Self {
+        self.vfs_stat_fail_p = p;
+        self
+    }
+
+    /// Schedules X-server crashes at the given virtual times (builder
+    /// style).
+    pub fn with_x_crashes(mut self, at: Vec<Timestamp>) -> Self {
+        self.x_crash_at = at;
+        self
+    }
+}
+
+/// Running counters of faults the plan has injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Channel-fault draws taken (one per message attempt).
+    pub drawn: u64,
+    /// Messages dropped.
+    pub drops: u64,
+    /// Messages delayed.
+    pub delays: u64,
+    /// Messages duplicated.
+    pub duplicates: u64,
+    /// Messages reordered.
+    pub reorders: u64,
+    /// Transient VFS stat failures injected.
+    pub vfs_stat_failures: u64,
+    /// Scheduled X crashes fired.
+    pub crashes_fired: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    spec: FaultSpec,
+    rng: SimRng,
+    crashes: VecDeque<Timestamp>,
+    stats: FaultStats,
+    armed: bool,
+}
+
+/// A compiled, shareable fault plan. Cloning yields another handle onto the
+/// same deterministic stream (the [`crate::Clock`] idiom).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// Compiles a spec: seeds the fault stream and sorts the crash
+    /// schedule.
+    pub fn new(spec: FaultSpec) -> Self {
+        let mut crash_times = spec.x_crash_at.clone();
+        crash_times.sort();
+        FaultPlan {
+            inner: Arc::new(Mutex::new(Inner {
+                rng: SimRng::seeded(spec.seed),
+                crashes: crash_times.into(),
+                stats: FaultStats::default(),
+                armed: true,
+                spec,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("fault plan lock")
+    }
+
+    /// The spec this plan was compiled from.
+    pub fn spec(&self) -> FaultSpec {
+        self.lock().spec.clone()
+    }
+
+    /// Arms or disarms channel/stat fault injection (scheduled crashes are
+    /// unaffected). Disarmed plans report [`ChannelFault::Deliver`] without
+    /// consuming randomness, so tests can inject a burst of faults and then
+    /// let the system converge.
+    pub fn set_armed(&self, armed: bool) {
+        self.lock().armed = armed;
+    }
+
+    /// Whether channel/stat fault injection is currently armed.
+    pub fn armed(&self) -> bool {
+        self.lock().armed
+    }
+
+    /// Draws the fate of the next channel message.
+    pub fn next_channel_fault(&self) -> ChannelFault {
+        let mut inner = self.lock();
+        if !inner.armed {
+            return ChannelFault::Deliver;
+        }
+        inner.stats.drawn += 1;
+        let u = inner.rng.unit();
+        let spec = &inner.spec;
+        let mut edge = spec.drop_p;
+        if u < edge {
+            inner.stats.drops += 1;
+            return ChannelFault::Drop;
+        }
+        edge += spec.delay_p;
+        if u < edge {
+            let (lo, hi) = (inner.spec.delay_min, inner.spec.delay_max);
+            let d = if hi <= lo {
+                lo
+            } else {
+                inner.rng.duration_between(lo, hi)
+            };
+            inner.stats.delays += 1;
+            return ChannelFault::Delay(d);
+        }
+        edge += spec.duplicate_p;
+        if u < edge {
+            inner.stats.duplicates += 1;
+            return ChannelFault::Duplicate;
+        }
+        edge += spec.reorder_p;
+        if u < edge {
+            inner.stats.reorders += 1;
+            return ChannelFault::Reorder;
+        }
+        ChannelFault::Deliver
+    }
+
+    /// Whether the next VFS `stat` during peer (re-)authentication fails.
+    pub fn vfs_stat_fails(&self) -> bool {
+        let mut inner = self.lock();
+        if !inner.armed || inner.spec.vfs_stat_fail_p <= 0.0 {
+            return false;
+        }
+        let p = inner.spec.vfs_stat_fail_p;
+        let fails = inner.rng.chance(p);
+        if fails {
+            inner.stats.vfs_stat_failures += 1;
+        }
+        fails
+    }
+
+    /// Pops every scheduled crash with time `<= now`, returning whether any
+    /// fired. Each scheduled crash fires exactly once.
+    pub fn x_crash_due(&self, now: Timestamp) -> bool {
+        let mut inner = self.lock();
+        let mut fired = false;
+        while inner.crashes.front().is_some_and(|&t| t <= now) {
+            inner.crashes.pop_front();
+            inner.stats.crashes_fired += 1;
+            fired = true;
+        }
+        fired
+    }
+
+    /// The next scheduled crash time, if any remain.
+    pub fn next_crash_at(&self) -> Option<Timestamp> {
+        self.lock().crashes.front().copied()
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_always_delivers() {
+        let plan = FaultPlan::new(FaultSpec::quiet(1));
+        for _ in 0..64 {
+            assert_eq!(plan.next_channel_fault(), ChannelFault::Deliver);
+        }
+        assert!(!plan.vfs_stat_fails());
+        assert!(!plan.x_crash_due(Timestamp::from_millis(1_000_000)));
+        assert_eq!(plan.stats().drops, 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let spec = FaultSpec::quiet(42)
+            .with_drop_p(0.3)
+            .with_delay_p(0.3)
+            .with_duplicate_p(0.2)
+            .with_reorder_p(0.1);
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        for _ in 0..256 {
+            assert_eq!(a.next_channel_fault(), b.next_channel_fault());
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let plan = FaultPlan::new(FaultSpec::quiet(7).with_drop_p(1.0));
+        for _ in 0..16 {
+            assert_eq!(plan.next_channel_fault(), ChannelFault::Drop);
+        }
+        assert_eq!(plan.stats().drops, 16);
+        assert_eq!(plan.stats().drawn, 16);
+    }
+
+    #[test]
+    fn delay_draws_stay_in_window() {
+        let plan = FaultPlan::new(
+            FaultSpec::quiet(9)
+                .with_delay_p(1.0)
+                .with_delay_window(SimDuration::from_millis(5), SimDuration::from_millis(9)),
+        );
+        for _ in 0..64 {
+            match plan.next_channel_fault() {
+                ChannelFault::Delay(d) => {
+                    assert!(d >= SimDuration::from_millis(5) && d < SimDuration::from_millis(9));
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_delay_window_uses_min() {
+        let plan = FaultPlan::new(
+            FaultSpec::quiet(9)
+                .with_delay_p(1.0)
+                .with_delay_window(SimDuration::from_millis(30), SimDuration::from_millis(30)),
+        );
+        assert_eq!(
+            plan.next_channel_fault(),
+            ChannelFault::Delay(SimDuration::from_millis(30))
+        );
+    }
+
+    #[test]
+    fn crash_schedule_fires_each_time_once() {
+        let plan = FaultPlan::new(FaultSpec::quiet(1).with_x_crashes(vec![
+            Timestamp::from_millis(500),
+            Timestamp::from_millis(100),
+        ]));
+        assert_eq!(plan.next_crash_at(), Some(Timestamp::from_millis(100)));
+        assert!(!plan.x_crash_due(Timestamp::from_millis(99)));
+        assert!(plan.x_crash_due(Timestamp::from_millis(100)));
+        assert!(!plan.x_crash_due(Timestamp::from_millis(100)), "fired once");
+        assert!(plan.x_crash_due(Timestamp::from_millis(10_000)));
+        assert_eq!(plan.next_crash_at(), None);
+        assert_eq!(plan.stats().crashes_fired, 2);
+    }
+
+    #[test]
+    fn disarmed_plan_injects_nothing_and_rearms() {
+        let plan = FaultPlan::new(FaultSpec::quiet(3).with_drop_p(1.0));
+        plan.set_armed(false);
+        assert!(!plan.armed());
+        assert_eq!(plan.next_channel_fault(), ChannelFault::Deliver);
+        assert_eq!(plan.stats().drawn, 0, "disarmed draws consume no stream");
+        plan.set_armed(true);
+        assert_eq!(plan.next_channel_fault(), ChannelFault::Drop);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let a = FaultPlan::new(FaultSpec::quiet(5).with_drop_p(0.5));
+        let b = a.clone();
+        let draws_a: Vec<_> = (0..8).map(|_| a.next_channel_fault()).collect();
+        assert_eq!(a.stats().drawn, 8);
+        assert_eq!(b.stats().drawn, 8, "clone sees the same counters");
+        let _ = draws_a;
+    }
+
+    #[test]
+    fn certain_stat_failure_fails() {
+        let plan = FaultPlan::new(FaultSpec::quiet(11).with_vfs_stat_fail_p(1.0));
+        assert!(plan.vfs_stat_fails());
+        assert_eq!(plan.stats().vfs_stat_failures, 1);
+    }
+}

@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod time;
 pub mod work;
 
 pub use audit::{AuditCategory, AuditEvent, AuditLog};
+pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};
 pub use rng::SimRng;
 pub use time::{Clock, SimDuration, Timestamp};

@@ -399,6 +399,26 @@ impl XServer {
         alert
     }
 
+    /// Renders an overlay alert for a kernel push that was buffered across
+    /// a display-manager restart. The alert carries the shared secret like
+    /// any other, but is visibly marked as delayed so the user knows the
+    /// decision predates the crash.
+    pub fn show_alert_replayed(&mut self, process: &str, op: &str, granted: bool) -> Alert {
+        overhaul_sim::work::spin_micros(Self::ALERT_RENDER_MICROS);
+        let now = self.clock.now();
+        let alert = self.alerts.show_replayed(process, op, granted, now).clone();
+        self.audit.record(
+            now,
+            AuditCategory::AlertDisplayed,
+            None,
+            format!(
+                "{process}: {op} {} (replayed)",
+                if granted { "granted" } else { "blocked" }
+            ),
+        );
+        alert
+    }
+
     // ---------------------------------------------------------------
     // Request dispatch
     // ---------------------------------------------------------------

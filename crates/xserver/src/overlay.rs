@@ -26,6 +26,10 @@ pub struct Alert {
     pub expires: Timestamp,
     /// The user's visual shared secret, embedded in the rendering.
     pub secret: String,
+    /// Whether this alert was replayed after a display-manager restart
+    /// (the decision it reports predates the crash). Replayed alerts are
+    /// visually marked so the user knows they are late.
+    pub replayed: bool,
 }
 
 impl Alert {
@@ -36,9 +40,10 @@ impl Alert {
         } else {
             "was blocked from"
         };
+        let suffix = if self.replayed { " (delayed)" } else { "" };
         format!(
-            "[{}] {} {} the {}",
-            self.secret, self.process, verb, self.op
+            "[{}] {} {} the {}{}",
+            self.secret, self.process, verb, self.op, suffix
         )
     }
 
@@ -93,13 +98,37 @@ impl AlertManager {
         granted: bool,
         now: Timestamp,
     ) -> &Alert {
+        self.show_inner(process.into(), op.into(), granted, now, false)
+    }
+
+    /// Shows an alert that was buffered across a display-manager restart,
+    /// marked so the user can tell it reports a pre-crash decision.
+    pub fn show_replayed(
+        &mut self,
+        process: impl Into<String>,
+        op: impl Into<String>,
+        granted: bool,
+        now: Timestamp,
+    ) -> &Alert {
+        self.show_inner(process.into(), op.into(), granted, now, true)
+    }
+
+    fn show_inner(
+        &mut self,
+        process: String,
+        op: String,
+        granted: bool,
+        now: Timestamp,
+        replayed: bool,
+    ) -> &Alert {
         let alert = Alert {
-            process: process.into(),
-            op: op.into(),
+            process,
+            op,
             granted,
             shown_at: now,
             expires: now + self.duration,
             secret: self.secret.clone(),
+            replayed,
         };
         self.history.push(alert);
         self.history.last().expect("just pushed")
@@ -167,6 +196,17 @@ mod tests {
             "[dog.png] x is using the mic",
             "cat.png"
         ));
+    }
+
+    #[test]
+    fn replayed_alert_is_marked_but_still_authentic() {
+        let mut m = mgr();
+        let rendered = m
+            .show_replayed("skype", "mic", true, Timestamp::ZERO)
+            .render();
+        assert!(rendered.ends_with("(delayed)"));
+        assert!(Alert::looks_authentic(&rendered, "cat.png"));
+        assert!(m.history()[0].replayed);
     }
 
     #[test]

@@ -135,6 +135,21 @@ impl MonitorLink for GrantAllLink {
     }
 }
 
+/// A fail-closed link for protected configurations whose channel to the
+/// kernel is unavailable (not yet established, or lost to a crash):
+/// notifications are dropped and every query is denied. Losing the channel
+/// must never widen access.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenyAllLink;
+
+impl MonitorLink for DenyAllLink {
+    fn notify_interaction(&mut self, _pid: Pid, _at: Timestamp) {}
+
+    fn query(&mut self, _pid: Pid, _op: DisplayOp, _at: Timestamp) -> bool {
+        false
+    }
+}
+
 /// An input event as delivered to clients.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InputPayload {

@@ -4,7 +4,9 @@
 use overhaul_core::System;
 use overhaul_kernel::device::DeviceClass;
 use overhaul_kernel::error::Errno;
-use overhaul_sim::SimDuration;
+use overhaul_kernel::netlink::NetlinkMessage;
+use overhaul_kernel::UDEV_HELPER_PATH;
+use overhaul_sim::{FaultPlan, FaultSpec, SimDuration};
 use overhaul_xserver::geometry::Rect;
 
 #[test]
@@ -95,6 +97,86 @@ fn sensor_class_devices_are_protected_too() {
     let reading = machine.kernel_mut().sys_read(maps.pid, fd, 64).unwrap();
     assert!(reading.starts_with(b"reading:gps"));
     assert_eq!(machine.alert_history().last().unwrap().op, "sensor");
+}
+
+#[test]
+fn dropped_helper_update_keeps_device_quarantined() {
+    let mut machine = System::protected();
+    let helper = machine.spawn_process(None, UDEV_HELPER_PATH).unwrap();
+    let conn = machine.kernel_mut().netlink_connect(helper).unwrap();
+
+    // A legitimate app earns interaction credit before the fault storm.
+    let app = machine
+        .launch_gui_app("/usr/bin/cheese", Rect::new(0, 0, 100, 100))
+        .unwrap();
+    machine.settle();
+    machine.click_window(app.window);
+
+    // From here on, every channel message is dropped: the helper's
+    // DeviceMapUpdate for the rename never arrives.
+    let plan = FaultPlan::new(FaultSpec::quiet(11).with_drop_p(1.0));
+    machine.kernel_mut().install_fault_plan(plan.clone());
+    machine
+        .kernel_mut()
+        .udev_rename_device_via_channel(conn, "/dev/video0", "/dev/video-front")
+        .expect_err("the update must be lost");
+
+    // Old path is gone from the VFS; new path exists but the device is
+    // quarantined — denied even with fresh interaction credit.
+    assert_eq!(
+        machine.open_device(app.pid, "/dev/video0"),
+        Err(Errno::Enoent)
+    );
+    assert_eq!(
+        machine.open_device(app.pid, "/dev/video-front"),
+        Err(Errno::Eacces),
+        "a lost helper update must fail closed, not fall into the lag gap"
+    );
+    assert!(
+        machine.kernel_audit().matching("quarantined").count() >= 1,
+        "the quarantine denial is audited"
+    );
+
+    // The helper retransmits once the channel heals: protection resumes
+    // at the new path and the quarantine lifts.
+    plan.set_armed(false);
+    machine
+        .kernel_mut()
+        .netlink_send(
+            conn,
+            NetlinkMessage::DeviceMapUpdate {
+                old_path: "/dev/video0".into(),
+                new_path: "/dev/video-front".into(),
+            },
+        )
+        .expect("retransmission delivers");
+    assert!(
+        machine.open_device(app.pid, "/dev/video-front").is_ok(),
+        "fresh credit grants once the map converges"
+    );
+}
+
+#[test]
+fn delayed_helper_update_converges_without_a_gap() {
+    let mut machine = System::protected();
+    let helper = machine.spawn_process(None, UDEV_HELPER_PATH).unwrap();
+    let conn = machine.kernel_mut().netlink_connect(helper).unwrap();
+
+    let plan = FaultPlan::new(FaultSpec::quiet(12).with_delay_p(1.0));
+    machine.kernel_mut().install_fault_plan(plan);
+    machine
+        .kernel_mut()
+        .udev_rename_device_via_channel(conn, "/dev/video0", "/dev/video-front")
+        .expect("a delayed update still arrives");
+
+    // The mapping converged after the in-flight delay: the new path is
+    // mediated, and at no point was the device reachable unmediated.
+    let spy = machine.spawn_process(None, "/usr/bin/.spy").unwrap();
+    assert_eq!(machine.open_device(spy, "/dev/video0"), Err(Errno::Enoent));
+    assert_eq!(
+        machine.open_device(spy, "/dev/video-front"),
+        Err(Errno::Eacces)
+    );
 }
 
 #[test]
