@@ -1,0 +1,199 @@
+//! Decision-path microbenchmark: what one permission decision costs along
+//! each route through the unified policy engine.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin decision_path [-- --quick]
+//! ```
+//!
+//! Rows:
+//!
+//! - `engine eval`  — pure [`PolicyEngine`] evaluation of a prebuilt
+//!   snapshot: the decision core with every state read amortized away
+//!   (the `decide_batch` regime).
+//! - `traced miss`  — the full in-kernel traced path with the verdict
+//!   cache invalidated before every query (a policy-epoch bump), i.e. the
+//!   cost every mediation paid before verdicts were cached.
+//! - `traced hit`   — the full in-kernel traced path served from the
+//!   epoch-keyed verdict cache (stats, audit, and `explain_last` still
+//!   run on every query).
+//! - `wire query`   — the legacy decision route for display-mediated
+//!   operations: one netlink `PermissionQuery` round-trip per op, paying
+//!   the modeled user/kernel boundary RTT.
+//!
+//! `--quick` runs a reduced iteration count and asserts the headline
+//! claim — a cached in-kernel decision is at least 5× faster than the
+//! uncached wire query — panicking on regression. CI runs this mode.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use overhaul_kernel::monitor::ResourceOp;
+use overhaul_kernel::netlink::{ConnId, NetlinkMessage, NetlinkReply};
+use overhaul_kernel::policy::{OpRequest, PolicyEngine};
+use overhaul_kernel::{Kernel, KernelConfig, XORG_PATH};
+use overhaul_sim::{Clock, Pid, Timestamp};
+
+/// Processes in the benchmark kernel (mixed spawns and fork chains).
+const TASKS: usize = 1024;
+
+/// A booted kernel with an authenticated display channel and `TASKS`
+/// processes, each holding a fresh interaction so every query below is a
+/// within-δ grant.
+struct Fixture {
+    kernel: Kernel,
+    conn: ConnId,
+    pids: Vec<Pid>,
+    at: Timestamp,
+}
+
+fn fixture() -> Fixture {
+    let clock = Clock::new();
+    let mut kernel = Kernel::new(clock.clone(), KernelConfig::default());
+    let x = kernel
+        .sys_spawn(Pid::INIT, XORG_PATH)
+        .expect("spawn display manager");
+    let conn = kernel.netlink_connect(x).expect("authenticate channel");
+    kernel.set_channel_required(true);
+    let mut pids = Vec::with_capacity(TASKS);
+    for i in 0..TASKS {
+        // Every eighth process is a fresh spawn; the rest fork off the
+        // previous one, giving the process table realistic depth.
+        let pid = match pids.last() {
+            Some(&prev) if i % 8 != 0 => kernel.sys_fork(prev).expect("fork"),
+            _ => kernel
+                .sys_spawn(Pid::INIT, &format!("/usr/bin/app{i}"))
+                .expect("spawn"),
+        };
+        pids.push(pid);
+    }
+    let t = Timestamp::from_millis(1_000);
+    for &pid in &pids {
+        kernel
+            .record_interaction_direct(pid, t)
+            .expect("record interaction");
+    }
+    // Within δ of every interaction, so cached grants stay valid.
+    let at = Timestamp::from_millis(1_500);
+    Fixture {
+        kernel,
+        conn,
+        pids,
+        at,
+    }
+}
+
+/// Pure engine evaluation against one prebuilt snapshot.
+fn bench_engine_eval(f: &mut Fixture, iters: u64) -> Duration {
+    let pid = f.pids[0];
+    let snapshot = f.kernel.policy_snapshot(pid, false);
+    let request = OpRequest {
+        pid,
+        op: ResourceOp::Mic,
+        at: f.at,
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(PolicyEngine::decide(black_box(&snapshot), &request));
+    }
+    start.elapsed()
+}
+
+/// Full traced path. With `force_miss` the policy epoch is bumped before
+/// every query (re-applying the unchanged monitor config), so the cache
+/// can never answer; without it every query after the warmup is a hit.
+fn bench_traced(f: &mut Fixture, iters: u64, force_miss: bool) -> Duration {
+    let monitor = f.kernel.config().monitor;
+    for &pid in &f.pids {
+        f.kernel.decide_direct(pid, f.at, ResourceOp::Mic);
+    }
+    let mut i = 0usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        if force_miss {
+            f.kernel.set_monitor_config(monitor);
+        }
+        let pid = f.pids[i];
+        i = (i + 1) % f.pids.len();
+        black_box(f.kernel.decide_direct(pid, f.at, ResourceOp::Mic));
+    }
+    start.elapsed()
+}
+
+/// The legacy wire route: one netlink `PermissionQuery` round-trip per
+/// operation.
+fn bench_wire_query(f: &mut Fixture, iters: u64) -> Duration {
+    let mut i = 0usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let pid = f.pids[i];
+        i = (i + 1) % f.pids.len();
+        let reply = f
+            .kernel
+            .netlink_send(
+                f.conn,
+                NetlinkMessage::PermissionQuery {
+                    pid,
+                    op: ResourceOp::Mic,
+                    at: f.at,
+                },
+            )
+            .expect("channel up");
+        black_box(matches!(
+            reply,
+            NetlinkReply::QueryResponse(d) if d.verdict.is_grant()
+        ));
+    }
+    start.elapsed()
+}
+
+/// Best per-op time (nanoseconds) over `rounds` runs of `run`.
+fn best_per_op(
+    f: &mut Fixture,
+    iters: u64,
+    rounds: u32,
+    mut run: impl FnMut(&mut Fixture, u64) -> Duration,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let per_op = run(f, iters).as_nanos() as f64 / iters as f64;
+        best = best.min(per_op);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (engine_iters, kernel_iters, wire_iters) = if quick {
+        (200_000, 20_000, 500)
+    } else {
+        (2_000_000, 100_000, 2_000)
+    };
+    let mode = if quick { "quick" } else { "full" };
+    println!("decision-path microbenchmark ({mode}, best of 3, {TASKS} tasks)\n");
+
+    let mut f = fixture();
+    let eval = best_per_op(&mut f, engine_iters, 3, bench_engine_eval);
+    let miss = best_per_op(&mut f, kernel_iters, 3, |f, n| bench_traced(f, n, true));
+    let hit = best_per_op(&mut f, kernel_iters, 3, |f, n| bench_traced(f, n, false));
+    let wire = best_per_op(&mut f, wire_iters, 3, bench_wire_query);
+
+    println!("{:>14} {:>14} {:>10}", "path", "per-op", "vs hit");
+    for (label, ns) in [
+        ("engine eval", eval),
+        ("traced miss", miss),
+        ("traced hit", hit),
+        ("wire query", wire),
+    ] {
+        println!("{:>14} {:>12.1}ns {:>9.1}x", label, ns, ns / hit);
+    }
+
+    let ratio = wire / hit;
+    println!("\ncached in-kernel decision vs uncached wire query: {ratio:.1}x");
+    if quick {
+        assert!(
+            ratio >= 5.0,
+            "regression: cached decision only {ratio:.1}x faster than the wire query (need >= 5x)"
+        );
+        println!("OK: cached decision is >= 5x faster than the uncached wire query");
+    }
+}

@@ -454,8 +454,12 @@ impl System {
         if self.config.integrated_dm {
             // Integrated display managers read the monitor queue directly.
             for alert in self.kernel.take_alerts_direct() {
-                self.x
-                    .show_alert(&alert.process_name, &alert.op.to_string(), alert.granted);
+                self.x.show_alert_detailed(
+                    &alert.process_name,
+                    &alert.op.to_string(),
+                    alert.granted,
+                    alert.reason.as_deref(),
+                );
             }
             return;
         }
@@ -466,8 +470,12 @@ impl System {
         for push in pushes {
             match push {
                 KernelPush::DisplayAlert(alert) => {
-                    self.x
-                        .show_alert(&alert.process_name, &alert.op.to_string(), alert.granted);
+                    self.x.show_alert_detailed(
+                        &alert.process_name,
+                        &alert.op.to_string(),
+                        alert.granted,
+                        alert.reason.as_deref(),
+                    );
                 }
             }
         }
@@ -530,10 +538,11 @@ impl System {
         for push in pushes {
             match push {
                 KernelPush::DisplayAlert(alert) => {
-                    self.x.show_alert_replayed(
+                    self.x.show_alert_replayed_detailed(
                         &alert.process_name,
                         &alert.op.to_string(),
                         alert.granted,
+                        alert.reason.as_deref(),
                     );
                     replayed += 1;
                 }

@@ -28,6 +28,9 @@ pub struct DeviceMap {
     /// the new path is still in flight. A quarantined device is unreachable
     /// even at unmapped paths (fail closed) until a fresh mapping arrives.
     quarantined: BTreeSet<DeviceId>,
+    /// Bumped on every mutation; folded into the kernel's global policy
+    /// epoch so the verdict cache invalidates on map/quarantine changes.
+    generation: u64,
 }
 
 impl DeviceMap {
@@ -41,11 +44,16 @@ impl DeviceMap {
     pub fn insert(&mut self, path: impl Into<String>, device: DeviceId) {
         self.quarantined.remove(&device);
         self.by_path.insert(path.into(), device);
+        self.generation += 1;
     }
 
     /// Removes a path mapping, returning the device it pointed to.
     pub fn remove(&mut self, path: &str) -> Option<DeviceId> {
-        self.by_path.remove(path)
+        let removed = self.by_path.remove(path);
+        if removed.is_some() {
+            self.generation += 1;
+        }
+        removed
     }
 
     /// Revokes a path mapping and quarantines its device: the node moved
@@ -54,6 +62,7 @@ impl DeviceMap {
     pub fn revoke(&mut self, path: &str) -> Option<DeviceId> {
         let device = self.by_path.remove(path)?;
         self.quarantined.insert(device);
+        self.generation += 1;
         Some(device)
     }
 
@@ -69,7 +78,14 @@ impl DeviceMap {
         if let Some(device) = self.by_path.remove(old_path) {
             self.quarantined.remove(&device);
             self.by_path.insert(new_path.into(), device);
+            self.generation += 1;
         }
+    }
+
+    /// Monotone counter of map mutations (the device map's contribution to
+    /// the global policy epoch).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The sensitive device at `path`, if the map knows one.
@@ -169,6 +185,29 @@ mod tests {
         map.rename("/dev/a", "/dev/b");
         assert!(!map.is_quarantined(dev));
         assert_eq!(map.lookup("/dev/b"), Some(dev));
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_only() {
+        let mut map = DeviceMap::new();
+        let dev = DeviceId::from_raw(7);
+        assert_eq!(map.generation(), 0);
+        map.insert("/dev/a", dev);
+        assert_eq!(map.generation(), 1);
+        map.revoke("/dev/a");
+        assert_eq!(map.generation(), 2);
+        // Revoking an unknown path changes nothing.
+        map.revoke("/dev/ghost");
+        assert_eq!(map.generation(), 2);
+        map.insert("/dev/b", dev);
+        map.rename("/dev/b", "/dev/c");
+        assert_eq!(map.generation(), 4);
+        map.rename("/dev/ghost", "/dev/real");
+        assert_eq!(map.generation(), 4);
+        assert_eq!(map.remove("/dev/c"), Some(dev));
+        assert_eq!(map.generation(), 5);
+        assert_eq!(map.remove("/dev/c"), None);
+        assert_eq!(map.generation(), 5);
     }
 
     #[test]

@@ -25,44 +25,21 @@
 //!    the receiver's `task_struct` "if the IPC channel has a more
 //!    up-to-date timestamp".
 
-use overhaul_sim::Timestamp;
-
 pub mod msgqueue;
 pub mod pipe;
 pub mod pty;
 pub mod shm;
 pub mod unix_socket;
 
-/// Step (2) of the propagation protocol: embed the sender's interaction
-/// timestamp into the IPC resource slot, keeping the most recent value.
-///
-/// Returns `true` if the slot changed.
-pub fn embed_on_send(slot: &mut Option<Timestamp>, sender: Option<Timestamp>) -> bool {
-    match (slot.as_ref(), sender) {
-        (_, None) => false,
-        (Some(existing), Some(new)) if *existing >= new => false,
-        (_, Some(new)) => {
-            *slot = Some(new);
-            true
-        }
-    }
-}
-
-/// Step (3) of the propagation protocol: the receiving process adopts the
-/// resource timestamp if it is more recent than its own.
-///
-/// Returns the adopted timestamp, or `None` if nothing changed.
-pub fn adopt_on_receive(receiver: Option<Timestamp>, slot: Option<Timestamp>) -> Option<Timestamp> {
-    match (receiver, slot) {
-        (_, None) => None,
-        (Some(own), Some(embedded)) if own >= embedded => None,
-        (_, Some(embedded)) => Some(embedded),
-    }
-}
+// The protocol's two comparison functions live with the rest of the
+// temporal-proximity logic in the unified policy engine; re-exported here
+// so IPC call sites keep their natural import path.
+pub use crate::policy::{adopt_on_receive, embed_on_send};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use overhaul_sim::Timestamp;
 
     fn ts(ms: u64) -> Option<Timestamp> {
         Some(Timestamp::from_millis(ms))

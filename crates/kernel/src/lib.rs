@@ -49,6 +49,7 @@ pub mod ipc;
 pub mod mm;
 pub mod monitor;
 pub mod netlink;
+pub mod policy;
 pub mod process;
 pub mod procfs;
 pub mod ptrace;
@@ -56,7 +57,7 @@ pub mod syscall;
 pub mod task;
 pub mod vfs;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use overhaul_sim::{
     AuditCategory, AuditLog, ChannelFault, Clock, FaultPlan, Pid, SimDuration, Timestamp, Uid,
@@ -76,6 +77,10 @@ use crate::monitor::{
 };
 use crate::netlink::{
     ChannelState, ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply,
+};
+use crate::policy::{
+    CacheStats, DecisionOutcome, DecisionTrace, OpRequest, PolicyEngine, PolicySnapshot,
+    TaskPolicyView, VerdictCache,
 };
 use crate::process::ProcessTable;
 use crate::ptrace::PtracePolicy;
@@ -181,6 +186,17 @@ pub struct Kernel {
     /// Notifications overtaken by later traffic: stashed here and delivered
     /// after the next channel message completes.
     reorder_buffer: Vec<(ConnId, u64, NetlinkMessage)>,
+    /// Kernel-wide contribution to the global policy epoch, bumped on
+    /// configuration changes that can alter verdicts (δ, grant-all mode,
+    /// the overhaul master switch, channel-required wiring). Channel-state
+    /// and device-map changes contribute via their own generation counters;
+    /// see [`Kernel::policy_epoch`].
+    policy_epoch: u64,
+    /// Epoch-keyed verdict cache over the pure policy engine.
+    verdict_cache: VerdictCache,
+    /// Most recent traced outcome per `(pid, op)`, for
+    /// [`Kernel::explain_last`].
+    last_decisions: HashMap<(Pid, ResourceOp), DecisionOutcome>,
 }
 
 impl Kernel {
@@ -215,6 +231,9 @@ impl Kernel {
             channel_required: false,
             push_buffer: VecDeque::new(),
             reorder_buffer: Vec::new(),
+            policy_epoch: 0,
+            verdict_cache: VerdictCache::new(),
+            last_decisions: HashMap::new(),
             vfs,
             clock,
             config,
@@ -245,12 +264,14 @@ impl Kernel {
     pub fn set_overhaul_enabled(&mut self, enabled: bool) {
         self.config.overhaul_enabled = enabled;
         self.mm.set_interpose(enabled);
+        self.policy_epoch += 1;
     }
 
     /// Reconfigures the permission monitor (δ sweeps, grant-all mode).
     pub fn set_monitor_config(&mut self, monitor: MonitorConfig) {
         self.config.monitor = monitor;
         self.monitor.set_config(monitor);
+        self.policy_epoch += 1;
     }
 
     /// Reconfigures the shared-memory wait window (ablation sweeps).
@@ -315,6 +336,7 @@ impl Kernel {
     /// [`ChannelState::Down`] is a fail-closed deny (and audited as such).
     pub fn set_channel_required(&mut self, required: bool) {
         self.channel_required = required;
+        self.policy_epoch += 1;
     }
 
     /// Whether mediation fails closed while the display channel is down.
@@ -723,34 +745,41 @@ impl Kernel {
                 Ok(NetlinkReply::QueryResponse(decision))
             }
             NetlinkMessage::DeviceMapUpdate { old_path, new_path } => {
-                if !old_path.is_empty() {
-                    // Fail closed: drop (and quarantine) the old mapping
-                    // before trusting anything about the new path.
-                    if self.device_map.revoke(&old_path).is_some() {
-                        self.audit.record(
-                            self.clock.now(),
-                            AuditCategory::ChannelEvent,
-                            None,
-                            "devmap: stale path revoked by helper update",
-                        );
-                    }
-                }
-                // Trust the new path only if it resolves to a registered
-                // device node right now; inserting clears any quarantine.
-                let device = self
-                    .vfs
-                    .resolve(&new_path)
-                    .and_then(|id| self.vfs.inode(id))
-                    .ok()
-                    .and_then(|inode| match inode.kind() {
-                        InodeKind::DeviceNode { device } => Some(*device),
-                        _ => None,
-                    });
-                if let Some(device) = device {
-                    self.device_map.insert(new_path, device);
-                }
+                self.apply_device_map_update(&old_path, &new_path);
                 Ok(NetlinkReply::Ack)
             }
+        }
+    }
+
+    /// Applies a trusted-helper device-map update: revokes (and
+    /// quarantines) the old path, then trusts the new path only if it
+    /// resolves to a registered device node right now. Shared by the
+    /// netlink channel and integrated (in-process) display managers.
+    pub fn apply_device_map_update(&mut self, old_path: &str, new_path: &str) {
+        if !old_path.is_empty() {
+            // Fail closed: drop (and quarantine) the old mapping before
+            // trusting anything about the new path.
+            if self.device_map.revoke(old_path).is_some() {
+                self.audit.record(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    None,
+                    "devmap: stale path revoked by helper update",
+                );
+            }
+        }
+        // Inserting clears any quarantine.
+        let device = self
+            .vfs
+            .resolve(new_path)
+            .and_then(|id| self.vfs.inode(id))
+            .ok()
+            .and_then(|inode| match inode.kind() {
+                InodeKind::DeviceNode { device } => Some(*device),
+                _ => None,
+            });
+        if let Some(device) = device {
+            self.device_map.insert(new_path, device);
         }
     }
 
@@ -863,6 +892,35 @@ impl Kernel {
         }
     }
 
+    /// The kernel's global policy epoch: changes whenever *any* non-task
+    /// state a verdict can depend on changes — monitor/config updates,
+    /// display-channel state transitions, device-map mutations. Combined
+    /// with the per-task interaction epoch, an unchanged pair proves a
+    /// cached verdict is still derived from current state.
+    pub fn policy_epoch(&self) -> u64 {
+        // Each term is monotone, so the sum is monotone and changes
+        // whenever any contributor changes.
+        self.policy_epoch + self.netlink.state_generation() + self.device_map.generation()
+    }
+
+    /// Builds the immutable [`PolicySnapshot`] a verdict for `pid` depends
+    /// on. This is the only part of a decision that reads kernel state;
+    /// [`PolicyEngine::decide`] is a pure function of the snapshot.
+    pub fn policy_snapshot(&self, pid: Pid, quarantined: bool) -> PolicySnapshot {
+        PolicySnapshot {
+            delta: self.config.monitor.delta,
+            grant_all: self.config.monitor.grant_all,
+            channel_required: self.channel_required,
+            channel_state: self.netlink.state(),
+            quarantined,
+            task: self.tasks.get(pid).ok().map(|t| TaskPolicyView {
+                frozen: t.permissions_frozen(),
+                interaction: t.raw_interaction(),
+                chain: t.credit_chain(),
+            }),
+        }
+    }
+
     /// Runs a permission decision for `pid` performing `op` at `at`,
     /// recording audit events. Used by the device-open path internally and
     /// by netlink queries from the display manager.
@@ -872,48 +930,133 @@ impl Kernel {
     /// fail-closed deny: no authentic interaction evidence can be reaching
     /// the monitor, so nothing may be granted.
     pub(crate) fn decide(&mut self, pid: Pid, at: Timestamp, op: ResourceOp) -> Decision {
-        if self.channel_required && self.netlink.state() == ChannelState::Down {
-            self.monitor.note_fail_closed();
-            self.audit.record(
-                at,
-                AuditCategory::PermissionDenied,
-                Some(pid),
-                channel_down_detail(op),
-            );
-            return Decision {
-                verdict: Verdict::Deny,
-                reason: monitor::DecisionReason::ChannelDown,
-            };
-        }
-        let decision = match self.monitor.check(&self.tasks, pid, at) {
-            Ok(d) => d,
-            Err(_) => Decision {
-                verdict: Verdict::Deny,
-                reason: monitor::DecisionReason::NoInteraction,
-            },
-        };
-        let category = if decision.verdict.is_grant() {
-            AuditCategory::PermissionGranted
-        } else {
-            AuditCategory::PermissionDenied
-        };
-        // Static detail strings keep the mediation hot path allocation-free
-        // (this is the code the Table I device benchmark times).
-        self.audit.record(
-            at,
-            category,
-            Some(pid),
-            decision_detail(op, decision.verdict.is_grant()),
-        );
-        decision
+        self.decide_traced(pid, at, op, false).decision
     }
 
-    /// Queues a device-access visual alert if configured.
+    /// The traced decision path behind every mediation site: consults the
+    /// epoch-keyed verdict cache, falls back to a snapshot + pure-engine
+    /// evaluation on a miss, then applies the side effects (stats, audit)
+    /// identically either way and records the outcome for
+    /// [`Kernel::explain_last`].
+    pub(crate) fn decide_traced(
+        &mut self,
+        pid: Pid,
+        at: Timestamp,
+        op: ResourceOp,
+        quarantined: bool,
+    ) -> DecisionOutcome {
+        let global_epoch = self.policy_epoch();
+        // The cache is only consulted for pids the process table knows:
+        // reading the live task epoch is what makes a hit sound, and it
+        // also means unknown-pid outcomes can never be served stale after
+        // that pid is later spawned (pids are never reused).
+        let task_epoch = self.tasks.get(pid).ok().map(|t| t.interaction_epoch());
+        let cached = task_epoch.and_then(|epoch| {
+            self.verdict_cache
+                .lookup(pid, op, quarantined, at, epoch, global_epoch)
+        });
+        let outcome = match cached {
+            Some(outcome) => outcome,
+            None => {
+                let snapshot = self.policy_snapshot(pid, quarantined);
+                let outcome = PolicyEngine::decide(&snapshot, &OpRequest { pid, op, at });
+                if let Some(epoch) = task_epoch {
+                    if !matches!(outcome.trace, DecisionTrace::UnknownProcess) {
+                        self.verdict_cache.store(
+                            pid,
+                            op,
+                            quarantined,
+                            epoch,
+                            global_epoch,
+                            snapshot.delta,
+                            &outcome,
+                        );
+                    }
+                }
+                outcome
+            }
+        };
+        self.apply_decision_effects(pid, at, op, &outcome);
+        self.last_decisions.insert((pid, op), outcome);
+        outcome
+    }
+
+    /// Applies a decision's side effects — monitor counters and the audit
+    /// record — identically for cache hits and misses. The audit detail
+    /// renders from the [`DecisionTrace`], so every surface (audit log,
+    /// procfs STATS, overlay alerts) derives from the same trace.
+    fn apply_decision_effects(
+        &mut self,
+        pid: Pid,
+        at: Timestamp,
+        op: ResourceOp,
+        outcome: &DecisionOutcome,
+    ) {
+        match outcome.trace {
+            DecisionTrace::ChannelDown | DecisionTrace::Quarantined => {
+                self.monitor.note_fail_closed();
+                self.audit.record(
+                    at,
+                    AuditCategory::PermissionDenied,
+                    Some(pid),
+                    outcome.trace.audit_detail(op),
+                );
+            }
+            DecisionTrace::UnknownProcess => {
+                // A query about a dead process is answered (deny) but not
+                // counted: the monitor never saw a checkable task.
+                self.audit.record(
+                    at,
+                    AuditCategory::PermissionDenied,
+                    Some(pid),
+                    outcome.trace.audit_detail(op),
+                );
+            }
+            _ => {
+                let granted = outcome.decision.verdict.is_grant();
+                self.monitor.note_verdict(granted);
+                let category = if granted {
+                    AuditCategory::PermissionGranted
+                } else {
+                    AuditCategory::PermissionDenied
+                };
+                // Static detail strings keep the mediation hot path
+                // allocation-free (this is the code the Table I device
+                // benchmark times).
+                self.audit
+                    .record(at, category, Some(pid), outcome.trace.audit_detail(op));
+            }
+        }
+    }
+
+    /// Decides a batch of requests through the traced path (cache + audit +
+    /// stats per request). High-throughput mediation entry point.
+    pub fn decide_batch(&mut self, requests: &[OpRequest]) -> Vec<DecisionOutcome> {
+        requests
+            .iter()
+            .map(|r| self.decide_traced(r.pid, r.at, r.op, false))
+            .collect()
+    }
+
+    /// The most recent traced outcome for `(pid, op)`: why the last
+    /// mediation of that pair granted or denied.
+    pub fn explain_last(&self, pid: Pid, op: ResourceOp) -> Option<&DecisionOutcome> {
+        self.last_decisions.get(&(pid, op))
+    }
+
+    /// Verdict-cache hit/miss/size counters.
+    pub fn verdict_cache_stats(&self) -> CacheStats {
+        self.verdict_cache.stats()
+    }
+
+    /// Queues a device-access visual alert if configured. The alert carries
+    /// the trace's deny cause so the overlay renders the same reason the
+    /// audit log recorded.
     pub(crate) fn queue_device_alert(
         &mut self,
         pid: Pid,
         op: ResourceOp,
-        granted: bool,
+        outcome: &DecisionOutcome,
         at: Timestamp,
     ) {
         if !self.config.device_alerts {
@@ -928,8 +1071,9 @@ impl Kernel {
             pid,
             process_name,
             op,
-            granted,
+            granted: outcome.decision.verdict.is_grant(),
             at,
+            reason: outcome.trace.deny_cause().map(str::to_string),
         });
     }
 
@@ -1008,36 +1152,6 @@ impl Kernel {
             }
             _ => Err(Errno::Enoent),
         }
-    }
-}
-
-/// Allocation-free audit detail for a mediation decision.
-fn decision_detail(op: ResourceOp, granted: bool) -> &'static str {
-    match (op, granted) {
-        (ResourceOp::Mic, true) => "op=mic granted",
-        (ResourceOp::Mic, false) => "op=mic denied",
-        (ResourceOp::Cam, true) => "op=cam granted",
-        (ResourceOp::Cam, false) => "op=cam denied",
-        (ResourceOp::Sensor, true) => "op=sensor granted",
-        (ResourceOp::Sensor, false) => "op=sensor denied",
-        (ResourceOp::Screen, true) => "op=scr granted",
-        (ResourceOp::Screen, false) => "op=scr denied",
-        (ResourceOp::Copy, true) => "op=copy granted",
-        (ResourceOp::Copy, false) => "op=copy denied",
-        (ResourceOp::Paste, true) => "op=paste granted",
-        (ResourceOp::Paste, false) => "op=paste denied",
-    }
-}
-
-/// Allocation-free audit detail for a fail-closed (channel-down) denial.
-fn channel_down_detail(op: ResourceOp) -> &'static str {
-    match op {
-        ResourceOp::Mic => "op=mic denied (channel down)",
-        ResourceOp::Cam => "op=cam denied (channel down)",
-        ResourceOp::Sensor => "op=sensor denied (channel down)",
-        ResourceOp::Screen => "op=scr denied (channel down)",
-        ResourceOp::Copy => "op=copy denied (channel down)",
-        ResourceOp::Paste => "op=paste denied (channel down)",
     }
 }
 
@@ -1323,7 +1437,14 @@ mod tests {
         k.install_fault_plan(plan.clone());
         let x = k.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
         let conn = k.netlink_connect(x).unwrap();
-        k.queue_device_alert(x, ResourceOp::Cam, false, k.now());
+        let outcome = DecisionOutcome {
+            decision: Decision {
+                verdict: Verdict::Deny,
+                reason: monitor::DecisionReason::NoInteraction,
+            },
+            trace: DecisionTrace::NoInteraction,
+        };
+        k.queue_device_alert(x, ResourceOp::Cam, &outcome, k.now());
         assert_eq!(k.pending_push_count(), 1);
 
         let delivered = k.netlink_take_pushes(conn).unwrap();
@@ -1375,6 +1496,128 @@ mod tests {
         let stats = k.sys_procfs_read(procfs::STATS).unwrap();
         assert!(stats.contains("retries=0"));
         assert!(stats.contains("fail_closed=0"));
+    }
+
+    #[test]
+    fn explain_last_reports_the_justifying_interaction() {
+        let mut k = kernel();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        k.record_interaction_direct(app, Timestamp::from_millis(100))
+            .unwrap();
+        let d = k.decide_direct(app, Timestamp::from_millis(600), ResourceOp::Mic);
+        assert!(d.verdict.is_grant());
+        let outcome = k.explain_last(app, ResourceOp::Mic).expect("recorded");
+        match outcome.trace {
+            DecisionTrace::WithinThreshold { interaction_at, .. } => {
+                assert_eq!(interaction_at, Timestamp::from_millis(100));
+            }
+            other => panic!("unexpected trace {other:?}"),
+        }
+        assert_eq!(k.explain_last(app, ResourceOp::Cam), None);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_verdict_cache_with_identical_outcomes() {
+        let mut k = kernel();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        k.record_interaction_direct(app, Timestamp::from_millis(100))
+            .unwrap();
+        let first = k.decide_direct(app, Timestamp::from_millis(200), ResourceOp::Mic);
+        let stats_before = k.verdict_cache_stats();
+        let second = k.decide_direct(app, Timestamp::from_millis(200), ResourceOp::Mic);
+        assert_eq!(first, second);
+        let stats_after = k.verdict_cache_stats();
+        assert_eq!(stats_after.hits, stats_before.hits + 1);
+        // Stats and audit accrue identically on the hit.
+        assert_eq!(k.monitor_stats().grants, 2);
+        assert_eq!(k.audit().matching("op=mic granted").count(), 2);
+    }
+
+    #[test]
+    fn cache_does_not_serve_grants_past_the_delta_window() {
+        let mut k = kernel();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        k.record_interaction_direct(app, Timestamp::from_millis(100))
+            .unwrap();
+        assert!(k
+            .decide_direct(app, Timestamp::from_millis(200), ResourceOp::Mic)
+            .verdict
+            .is_grant());
+        // Same epoch, but past t + δ: must re-evaluate to a stale deny.
+        let late = k.decide_direct(app, Timestamp::from_millis(5_000), ResourceOp::Mic);
+        assert!(!late.verdict.is_grant());
+        assert_eq!(
+            late.reason,
+            monitor::DecisionReason::Expired {
+                elapsed: SimDuration::from_millis(4_900)
+            }
+        );
+    }
+
+    #[test]
+    fn new_interaction_invalidates_cached_denies() {
+        let mut k = kernel();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        assert!(!k
+            .decide_direct(app, Timestamp::from_millis(50), ResourceOp::Cam)
+            .verdict
+            .is_grant());
+        k.record_interaction_direct(app, Timestamp::from_millis(60))
+            .unwrap();
+        assert!(k
+            .decide_direct(app, Timestamp::from_millis(70), ResourceOp::Cam)
+            .verdict
+            .is_grant());
+    }
+
+    #[test]
+    fn unknown_pid_is_never_cached_so_a_later_spawn_decides_fresh() {
+        let mut k = kernel();
+        let future_pid = Pid::from_raw(4_242);
+        assert!(!k
+            .decide_direct(future_pid, Timestamp::from_millis(10), ResourceOp::Mic)
+            .verdict
+            .is_grant());
+        // Spawn processes until that pid exists, interact, and re-query.
+        let pid = loop {
+            let p = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+            if p.as_raw() >= future_pid.as_raw() {
+                break p;
+            }
+        };
+        assert_eq!(pid, future_pid, "pids allocate sequentially");
+        k.record_interaction_direct(pid, Timestamp::from_millis(20))
+            .unwrap();
+        assert!(k
+            .decide_direct(pid, Timestamp::from_millis(30), ResourceOp::Mic)
+            .verdict
+            .is_grant());
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decides() {
+        let mut k = kernel();
+        let app = k.sys_spawn(Pid::INIT, "/usr/bin/app").unwrap();
+        k.record_interaction_direct(app, Timestamp::from_millis(100))
+            .unwrap();
+        let requests: Vec<OpRequest> = [ResourceOp::Mic, ResourceOp::Cam, ResourceOp::Paste]
+            .iter()
+            .map(|&op| OpRequest {
+                pid: app,
+                op,
+                at: Timestamp::from_millis(300),
+            })
+            .collect();
+        let outcomes = k.decide_batch(&requests);
+        assert_eq!(outcomes.len(), 3);
+        for (request, outcome) in requests.iter().zip(&outcomes) {
+            assert!(outcome.decision.verdict.is_grant());
+            assert_eq!(
+                k.explain_last(request.pid, request.op),
+                Some(outcome),
+                "explain_last sees each batched decision"
+            );
+        }
     }
 
     #[test]

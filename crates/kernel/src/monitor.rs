@@ -18,6 +18,8 @@ use overhaul_sim::{Pid, SimDuration, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SysResult;
+use crate::netlink::ChannelState;
+use crate::policy::{PolicyEngine, PolicySnapshot, TaskPolicyView};
 use crate::process::ProcessTable;
 
 /// A privileged operation class, the paper's
@@ -89,6 +91,8 @@ pub enum DecisionReason {
     /// Denied: the kernel↔display-manager channel is down, so no authentic
     /// interaction evidence can reach the monitor — fail closed.
     ChannelDown,
+    /// Denied: the device is quarantined pending a helper map update.
+    Quarantined,
 }
 
 /// The monitor's answer to a permission query.
@@ -116,6 +120,10 @@ pub struct AlertRequest {
     pub granted: bool,
     /// When the decision was made.
     pub at: Timestamp,
+    /// For denials with an out-of-band cause (channel down, device
+    /// quarantine), the cause exactly as the overlay should render it.
+    /// `None` for plain temporal-proximity outcomes.
+    pub reason: Option<String>,
 }
 
 /// Tunables of the permission monitor.
@@ -246,47 +254,35 @@ impl PermissionMonitor {
         op_at: Timestamp,
     ) -> SysResult<Decision> {
         let task = tasks.get(pid)?;
-        let decision = if task.permissions_frozen() {
-            // Frozen wins over grant_all: the ptrace defense must hold even
-            // in benchmark configurations.
-            Decision {
-                verdict: Verdict::Deny,
-                reason: DecisionReason::PermissionsFrozen,
-            }
-        } else if let Some(t) = task.interaction() {
-            let elapsed = op_at.saturating_since(t);
-            if elapsed < self.config.delta {
-                Decision {
-                    verdict: Verdict::Grant,
-                    reason: DecisionReason::WithinThreshold { elapsed },
-                }
-            } else if self.config.grant_all {
-                Decision {
-                    verdict: Verdict::Grant,
-                    reason: DecisionReason::GrantAll,
-                }
-            } else {
-                Decision {
-                    verdict: Verdict::Deny,
-                    reason: DecisionReason::Expired { elapsed },
-                }
-            }
-        } else if self.config.grant_all {
-            Decision {
-                verdict: Verdict::Grant,
-                reason: DecisionReason::GrantAll,
-            }
-        } else {
-            Decision {
-                verdict: Verdict::Deny,
-                reason: DecisionReason::NoInteraction,
-            }
+        // The monitor answers pure temporal-proximity queries: channel state
+        // and device quarantine are the kernel's concern (handled before the
+        // query ever reaches the monitor), so the snapshot is benign there.
+        let snapshot = PolicySnapshot {
+            delta: self.config.delta,
+            grant_all: self.config.grant_all,
+            channel_required: false,
+            channel_state: ChannelState::Up,
+            quarantined: false,
+            task: Some(TaskPolicyView {
+                frozen: task.permissions_frozen(),
+                interaction: task.raw_interaction(),
+                chain: task.credit_chain(),
+            }),
         };
-        match decision.verdict {
-            Verdict::Grant => self.stats.grants += 1,
-            Verdict::Deny => self.stats.denies += 1,
+        let outcome = PolicyEngine::evaluate_at(&snapshot, op_at);
+        self.note_verdict(outcome.decision.verdict.is_grant());
+        Ok(outcome.decision)
+    }
+
+    /// Counts a verdict computed outside the monitor (the kernel's unified
+    /// decision path) so `grants`/`denies` stay authoritative regardless of
+    /// which layer evaluated the policy.
+    pub(crate) fn note_verdict(&mut self, granted: bool) {
+        if granted {
+            self.stats.grants += 1;
+        } else {
+            self.stats.denies += 1;
         }
-        Ok(decision)
     }
 
     /// Records a channel message retry.
@@ -471,6 +467,7 @@ mod tests {
             op: ResourceOp::Cam,
             granted: false,
             at: Timestamp::from_millis(5),
+            reason: None,
         });
         assert_eq!(monitor.pending_alert_count(), 1);
         let alerts = monitor.take_alerts();
@@ -506,6 +503,7 @@ mod tests {
             op: ResourceOp::Mic,
             granted: true,
             at: Timestamp::from_millis(1),
+            reason: None,
         });
         monitor.take_alerts();
         assert_eq!(monitor.stats().alerts_queued, 1, "survives the drain");

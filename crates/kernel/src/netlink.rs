@@ -169,6 +169,10 @@ pub struct Netlink {
     trusted_exe_paths: Vec<String>,
     display_conn: Option<ConnId>,
     display_state: ChannelState,
+    /// Bumped on every display-channel state change; folded into the
+    /// kernel's global policy epoch so the verdict cache invalidates on
+    /// channel transitions.
+    state_generation: u64,
     had_display: bool,
     display_reconnects: u64,
 }
@@ -183,6 +187,7 @@ impl Netlink {
             trusted_exe_paths,
             display_conn: None,
             display_state: ChannelState::Down,
+            state_generation: 0,
             had_display: false,
             display_reconnects: 0,
         }
@@ -251,6 +256,7 @@ impl Netlink {
             self.had_display = true;
             self.display_conn = Some(id);
             self.display_state = ChannelState::Up;
+            self.state_generation += 1;
         }
         Ok(id)
     }
@@ -276,6 +282,12 @@ impl Netlink {
     /// Health of the display-manager channel.
     pub fn state(&self) -> ChannelState {
         self.display_state
+    }
+
+    /// Monotone counter of display-channel state changes (the channel's
+    /// contribution to the global policy epoch).
+    pub fn state_generation(&self) -> u64 {
+        self.state_generation
     }
 
     /// Times a new display connection superseded an earlier one.
@@ -333,6 +345,7 @@ impl Netlink {
             return None;
         }
         self.display_state = to;
+        self.state_generation += 1;
         Some((from, to))
     }
 
@@ -341,7 +354,10 @@ impl Netlink {
         self.connections.remove(&conn);
         if self.display_conn == Some(conn) {
             self.display_conn = None;
-            self.display_state = ChannelState::Down;
+            if self.display_state != ChannelState::Down {
+                self.display_state = ChannelState::Down;
+                self.state_generation += 1;
+            }
         }
     }
 
@@ -359,7 +375,10 @@ impl Netlink {
             .is_some_and(|conn| !self.connections.contains_key(&conn));
         if display_lost {
             self.display_conn = None;
-            self.display_state = ChannelState::Down;
+            if self.display_state != ChannelState::Down {
+                self.display_state = ChannelState::Down;
+                self.state_generation += 1;
+            }
         }
         (dropped, display_lost)
     }
@@ -372,7 +391,10 @@ impl Netlink {
         if let Some(conn) = self.display_conn {
             if !self.connections.contains_key(&conn) {
                 self.display_conn = None;
-                self.display_state = ChannelState::Down;
+                if self.display_state != ChannelState::Down {
+                    self.display_state = ChannelState::Down;
+                    self.state_generation += 1;
+                }
             }
         }
     }
@@ -564,5 +586,24 @@ mod tests {
             None
         );
         assert_eq!(netlink.state(), ChannelState::Degraded);
+    }
+
+    #[test]
+    fn state_generation_counts_every_transition_exactly_once() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let g0 = netlink.state_generation();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        assert_eq!(netlink.state_generation(), g0 + 1, "Down -> Up");
+        netlink.transition_display(conn, ChannelState::Degraded);
+        assert_eq!(netlink.state_generation(), g0 + 2);
+        // A no-op transition does not bump.
+        netlink.transition_display(conn, ChannelState::Degraded);
+        assert_eq!(netlink.state_generation(), g0 + 2);
+        netlink.invalidate_peer(x);
+        assert_eq!(netlink.state_generation(), g0 + 3, "Degraded -> Down");
+        // Already down: disconnect of a gone conn is a no-op.
+        netlink.disconnect(conn);
+        assert_eq!(netlink.state_generation(), g0 + 3);
     }
 }

@@ -31,6 +31,7 @@ use crate::ipc::{adopt_on_receive, embed_on_send};
 use crate::mm::{AccessKind, AccessPath, VmaId};
 use crate::monitor::ResourceOp;
 use crate::netlink::ChannelState;
+use crate::policy::IpcMechanism;
 use crate::task::FileDescription;
 use crate::vfs::{InodeKind, Stat};
 use crate::Kernel;
@@ -284,40 +285,27 @@ impl Kernel {
                 .install_fd(FileDescription::Regular { inode: inode_id })),
             InodeKind::DeviceNode { device } => {
                 if self.config.overhaul_enabled {
-                    if let Some(mapped) = self.device_map.lookup(path) {
+                    let mapped = self.device_map.lookup(path);
+                    // A quarantined device is one whose old path the helper
+                    // revoked while its update for the new path is still in
+                    // flight: unreachable until the map converges (fail
+                    // closed), audited/alerted like any other deny.
+                    let quarantined = mapped.is_none() && self.device_map.is_quarantined(device);
+                    if let Some(mapped) = mapped {
                         debug_assert_eq!(mapped, device, "helper map out of sync with vfs");
+                    }
+                    if mapped.is_some() || quarantined {
                         let now = self.clock.now();
                         let op = match self.devices.get(device)?.class() {
                             DeviceClass::Microphone => ResourceOp::Mic,
                             DeviceClass::Camera => ResourceOp::Cam,
                             DeviceClass::Sensor => ResourceOp::Sensor,
                         };
-                        let decision = self.decide(pid, now, op);
-                        self.queue_device_alert(pid, op, decision.verdict.is_grant(), now);
-                        if !decision.verdict.is_grant() {
+                        let outcome = self.decide_traced(pid, now, op, quarantined);
+                        self.queue_device_alert(pid, op, &outcome, now);
+                        if !outcome.decision.verdict.is_grant() {
                             return Err(Errno::Eacces);
                         }
-                    } else if self.device_map.is_quarantined(device) {
-                        // The helper revoked this device's old path and its
-                        // update for the new one has not arrived: the device
-                        // is unreachable until the map converges — denied
-                        // without consulting the monitor (fail closed), and
-                        // audited/alerted like any other deny.
-                        let now = self.clock.now();
-                        let op = match self.devices.get(device)?.class() {
-                            DeviceClass::Microphone => ResourceOp::Mic,
-                            DeviceClass::Camera => ResourceOp::Cam,
-                            DeviceClass::Sensor => ResourceOp::Sensor,
-                        };
-                        self.monitor.note_fail_closed();
-                        self.audit.record(
-                            now,
-                            AuditCategory::PermissionDenied,
-                            Some(pid),
-                            "device open denied (quarantined pending helper update)",
-                        );
-                        self.queue_device_alert(pid, op, false, now);
-                        return Err(Errno::Eacces);
                     }
                     // Device node unknown to the helper map (and not
                     // quarantined): mediation is skipped — the documented
@@ -385,7 +373,7 @@ impl Kernel {
                 let data = self.pipes.read(pipe, max)?;
                 if !data.is_empty() {
                     let slot = self.pipes.get(pipe)?.embedded_ts();
-                    self.adopt_into(pid, slot, "pipe");
+                    self.adopt_into(pid, slot, IpcMechanism::Pipe);
                 }
                 Ok(data)
             }
@@ -393,13 +381,13 @@ impl Kernel {
             FileDescription::Socket { socket, end } => {
                 let data = self.sockets.recv(socket, end)?;
                 let slot = self.sockets.get(socket)?.embedded_ts_from(end.peer());
-                self.adopt_into(pid, slot, "unix-socket");
+                self.adopt_into(pid, slot, IpcMechanism::UnixSocket);
                 Ok(data)
             }
             FileDescription::MessageQueue { queue } => {
                 let msg = self.msgqueues.receive(queue, 0)?;
                 let slot = self.msgqueues.get(queue)?.embedded_ts();
-                self.adopt_into(pid, slot, "posix-mq");
+                self.adopt_into(pid, slot, IpcMechanism::PosixMq);
                 Ok(msg.data)
             }
             FileDescription::PtyMaster { pty } => self.pty_read(pid, pty, PtySide::Master, max),
@@ -611,7 +599,7 @@ impl Kernel {
         self.caller(pid)?;
         let msg = self.msgqueues.receive(queue, mtype)?;
         let slot = self.msgqueues.get(queue)?.embedded_ts();
-        self.adopt_into(pid, slot, "sysv-msgq");
+        self.adopt_into(pid, slot, IpcMechanism::SysvMsgq);
         Ok(msg)
     }
 
@@ -727,7 +715,7 @@ impl Kernel {
         let path = self.mm.begin_access(vma, pid, AccessKind::Read, now)?;
         if path == AccessPath::Faulted {
             let slot = self.shm.get(mapping.shm())?.embedded_ts();
-            self.adopt_into(pid, slot, "shm");
+            self.adopt_into(pid, slot, IpcMechanism::Shm);
         }
         self.shm.read(mapping.shm(), offset, len)
     }
@@ -782,7 +770,7 @@ impl Kernel {
         let data = self.ptys.read(pty, side, max)?;
         if !data.is_empty() {
             let slot = self.ptys.get(pty)?.embedded_ts();
-            self.adopt_into(pid, slot, "pty");
+            self.adopt_into(pid, slot, IpcMechanism::Pty);
         }
         Ok(data)
     }
@@ -800,8 +788,9 @@ impl Kernel {
     }
 
     /// The adoption half of the protocol: `pid` takes a newer embedded
-    /// timestamp from an IPC resource into its `task_struct`.
-    fn adopt_into(&mut self, pid: Pid, slot: Option<Timestamp>, mechanism: &str) {
+    /// timestamp from an IPC resource into its `task_struct`, recording the
+    /// mechanism in the task's credit chain for decision traces.
+    fn adopt_into(&mut self, pid: Pid, slot: Option<Timestamp>, mechanism: IpcMechanism) {
         if !self.config.overhaul_enabled || !self.config.ipc_propagation {
             return;
         }
@@ -809,12 +798,12 @@ impl Kernel {
             return;
         };
         if let Some(adopted) = adopt_on_receive(task.raw_interaction(), slot) {
-            task.observe_interaction(adopted);
+            task.adopt_interaction(adopted, mechanism);
             self.audit.record(
                 self.clock.now(),
                 AuditCategory::InteractionPropagated,
                 Some(pid),
-                format!("adopted {adopted} via {mechanism}"),
+                format!("adopted {adopted} via {}", mechanism.as_str()),
             );
         }
     }

@@ -17,6 +17,7 @@ use crate::ipc::msgqueue::MsgqId;
 use crate::ipc::pipe::PipeId;
 use crate::ipc::pty::PtyId;
 use crate::ipc::unix_socket::{SocketEnd, SocketId};
+use crate::policy::{CreditChain, CreditHop, IpcMechanism};
 use crate::vfs::InodeId;
 
 /// What an open file descriptor refers to.
@@ -90,6 +91,13 @@ pub struct Task {
     /// Most recent authentic user-interaction timestamp, the field Overhaul
     /// adds to `task_struct`. `None` means "expired / never interacted".
     interaction: Option<Timestamp>,
+    /// Bumped on every change that can alter this task's verdicts: new or
+    /// adopted interactions, clears, and freeze-bit flips. The verdict
+    /// cache keys on it, so a stale epoch invalidates cached decisions.
+    interaction_epoch: u64,
+    /// Provenance of the stored interaction credit: how the timestamp
+    /// reached this task (direct input, fork inheritance, IPC adoption).
+    credit: CreditChain,
     /// Set while the process is being traced and ptrace hardening is on:
     /// the permission monitor treats the task as having no interactions.
     permissions_frozen: bool,
@@ -113,6 +121,8 @@ impl Task {
             name,
             state: TaskState::Running,
             interaction: None,
+            interaction_epoch: 0,
+            credit: CreditChain::empty(),
             permissions_frozen: false,
             traced_by: None,
             fds: BTreeMap::new(),
@@ -133,6 +143,14 @@ impl Task {
             name: self.name.clone(),
             state: TaskState::Running,
             interaction: self.interaction,
+            // Pids are never reused and unknown-pid verdicts are never
+            // cached, so a fresh child can safely start at epoch 0.
+            interaction_epoch: 0,
+            credit: if self.interaction.is_some() {
+                self.credit.extended(CreditHop::Fork)
+            } else {
+                CreditChain::empty()
+            },
             permissions_frozen: false,
             traced_by: None,
             fds: self.fds.clone(),
@@ -223,10 +241,24 @@ impl Task {
     /// Returns `true` if the stored timestamp changed — the IPC propagation
     /// protocol uses this to avoid logging no-op propagations.
     pub fn observe_interaction(&mut self, at: Timestamp) -> bool {
+        self.observe_with(at, CreditChain::direct())
+    }
+
+    /// Records an interaction adopted from an IPC resource (policy **P2**),
+    /// attributing the credit to `mechanism` in the propagation chain.
+    ///
+    /// Same keep-the-most-recent semantics as [`Task::observe_interaction`].
+    pub fn adopt_interaction(&mut self, at: Timestamp, mechanism: IpcMechanism) -> bool {
+        self.observe_with(at, CreditChain::via(mechanism))
+    }
+
+    fn observe_with(&mut self, at: Timestamp, chain: CreditChain) -> bool {
         match self.interaction {
             Some(existing) if existing >= at => false,
             _ => {
                 self.interaction = Some(at);
+                self.credit = chain;
+                self.interaction_epoch += 1;
                 true
             }
         }
@@ -235,6 +267,19 @@ impl Task {
     /// Clears the interaction record (used by tests and the procfs reset).
     pub fn clear_interaction(&mut self) {
         self.interaction = None;
+        self.credit = CreditChain::empty();
+        self.interaction_epoch += 1;
+    }
+
+    /// The epoch counter behind the verdict cache: any value change means
+    /// previously cached verdicts for this task may be stale.
+    pub fn interaction_epoch(&self) -> u64 {
+        self.interaction_epoch
+    }
+
+    /// Provenance of the current interaction credit.
+    pub fn credit_chain(&self) -> CreditChain {
+        self.credit
     }
 
     /// Whether ptrace hardening currently freezes this task's permissions.
@@ -242,9 +287,13 @@ impl Task {
         self.permissions_frozen
     }
 
-    /// Sets / clears the ptrace permission freeze.
+    /// Sets / clears the ptrace permission freeze. Bumps the interaction
+    /// epoch on actual flips: the freeze changes verdicts.
     pub fn set_permissions_frozen(&mut self, frozen: bool) {
-        self.permissions_frozen = frozen;
+        if self.permissions_frozen != frozen {
+            self.permissions_frozen = frozen;
+            self.interaction_epoch += 1;
+        }
     }
 
     /// The tracer attached to this task, if any.
@@ -443,6 +492,61 @@ mod tests {
         t.set_zombie(3);
         assert!(!t.is_running());
         assert_eq!(t.state(), TaskState::Zombie { code: 3 });
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_verdict_relevant_change() {
+        let mut t = task();
+        let e0 = t.interaction_epoch();
+        assert!(t.observe_interaction(Timestamp::from_millis(100)));
+        assert_eq!(t.interaction_epoch(), e0 + 1);
+        // A rejected (older) interaction changes nothing.
+        assert!(!t.observe_interaction(Timestamp::from_millis(50)));
+        assert_eq!(t.interaction_epoch(), e0 + 1);
+        t.set_permissions_frozen(true);
+        assert_eq!(t.interaction_epoch(), e0 + 2);
+        // Redundant freeze is a no-op.
+        t.set_permissions_frozen(true);
+        assert_eq!(t.interaction_epoch(), e0 + 2);
+        t.set_permissions_frozen(false);
+        assert_eq!(t.interaction_epoch(), e0 + 3);
+        t.clear_interaction();
+        assert_eq!(t.interaction_epoch(), e0 + 4);
+        assert!(t.credit_chain().is_empty());
+    }
+
+    #[test]
+    fn credit_chain_tracks_provenance() {
+        let mut t = task();
+        assert!(t.credit_chain().is_empty());
+        t.observe_interaction(Timestamp::from_millis(100));
+        assert_eq!(t.credit_chain().hops(), &[CreditHop::Direct]);
+        assert!(t.adopt_interaction(Timestamp::from_millis(200), IpcMechanism::Pipe));
+        assert_eq!(
+            t.credit_chain().hops(),
+            &[CreditHop::Ipc(IpcMechanism::Pipe)]
+        );
+        // A rejected adoption leaves the chain untouched.
+        assert!(!t.adopt_interaction(Timestamp::from_millis(150), IpcMechanism::Shm));
+        assert_eq!(
+            t.credit_chain().hops(),
+            &[CreditHop::Ipc(IpcMechanism::Pipe)]
+        );
+    }
+
+    #[test]
+    fn fork_extends_chain_and_resets_epoch() {
+        let mut parent = task();
+        parent.observe_interaction(Timestamp::from_millis(500));
+        let child = parent.fork_into(Pid::from_raw(11));
+        assert_eq!(
+            child.credit_chain().hops(),
+            &[CreditHop::Direct, CreditHop::Fork]
+        );
+        assert_eq!(child.interaction_epoch(), 0);
+
+        let blank_child = task().fork_into(Pid::from_raw(12));
+        assert!(blank_child.credit_chain().is_empty());
     }
 
     #[test]

@@ -384,9 +384,25 @@ impl XServer {
     /// Renders an overlay alert (used by the core when the kernel pushes a
     /// `V_{A,op}` request, and internally for screen-capture decisions).
     pub fn show_alert(&mut self, process: &str, op: &str, granted: bool) -> Alert {
+        self.show_alert_detailed(process, op, granted, None)
+    }
+
+    /// [`XServer::show_alert`] carrying the kernel's deny cause (channel
+    /// down, device quarantine), rendered verbatim on the overlay so it
+    /// matches the kernel audit log.
+    pub fn show_alert_detailed(
+        &mut self,
+        process: &str,
+        op: &str,
+        granted: bool,
+        reason: Option<&str>,
+    ) -> Alert {
         overhaul_sim::work::spin_micros(Self::ALERT_RENDER_MICROS);
         let now = self.clock.now();
-        let alert = self.alerts.show(process, op, granted, now).clone();
+        let alert = self
+            .alerts
+            .show_detailed(process, op, granted, now, reason)
+            .clone();
         self.audit.record(
             now,
             AuditCategory::AlertDisplayed,
@@ -404,9 +420,23 @@ impl XServer {
     /// any other, but is visibly marked as delayed so the user knows the
     /// decision predates the crash.
     pub fn show_alert_replayed(&mut self, process: &str, op: &str, granted: bool) -> Alert {
+        self.show_alert_replayed_detailed(process, op, granted, None)
+    }
+
+    /// [`XServer::show_alert_replayed`] carrying the kernel's deny cause.
+    pub fn show_alert_replayed_detailed(
+        &mut self,
+        process: &str,
+        op: &str,
+        granted: bool,
+        reason: Option<&str>,
+    ) -> Alert {
         overhaul_sim::work::spin_micros(Self::ALERT_RENDER_MICROS);
         let now = self.clock.now();
-        let alert = self.alerts.show_replayed(process, op, granted, now).clone();
+        let alert = self
+            .alerts
+            .show_replayed_detailed(process, op, granted, now, reason)
+            .clone();
         self.audit.record(
             now,
             AuditCategory::AlertDisplayed,

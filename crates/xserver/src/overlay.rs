@@ -30,6 +30,10 @@ pub struct Alert {
     /// (the decision it reports predates the crash). Replayed alerts are
     /// visually marked so the user knows they are late.
     pub replayed: bool,
+    /// For denials with an out-of-band cause (channel down, device
+    /// quarantine): the cause, rendered verbatim so the overlay, the audit
+    /// log, and procfs agree. `None` for plain temporal-proximity outcomes.
+    pub reason: Option<String>,
 }
 
 impl Alert {
@@ -40,10 +44,14 @@ impl Alert {
         } else {
             "was blocked from"
         };
+        let cause = match &self.reason {
+            Some(reason) => format!(" ({reason})"),
+            None => String::new(),
+        };
         let suffix = if self.replayed { " (delayed)" } else { "" };
         format!(
-            "[{}] {} {} the {}{}",
-            self.secret, self.process, verb, self.op, suffix
+            "[{}] {} {} the {}{}{}",
+            self.secret, self.process, verb, self.op, cause, suffix
         )
     }
 
@@ -98,7 +106,27 @@ impl AlertManager {
         granted: bool,
         now: Timestamp,
     ) -> &Alert {
-        self.show_inner(process.into(), op.into(), granted, now, false)
+        self.show_inner(process.into(), op.into(), granted, now, false, None)
+    }
+
+    /// [`AlertManager::show`] carrying the kernel's deny cause, rendered
+    /// verbatim on the overlay.
+    pub fn show_detailed(
+        &mut self,
+        process: impl Into<String>,
+        op: impl Into<String>,
+        granted: bool,
+        now: Timestamp,
+        reason: Option<&str>,
+    ) -> &Alert {
+        self.show_inner(
+            process.into(),
+            op.into(),
+            granted,
+            now,
+            false,
+            reason.map(str::to_string),
+        )
     }
 
     /// Shows an alert that was buffered across a display-manager restart,
@@ -110,7 +138,26 @@ impl AlertManager {
         granted: bool,
         now: Timestamp,
     ) -> &Alert {
-        self.show_inner(process.into(), op.into(), granted, now, true)
+        self.show_inner(process.into(), op.into(), granted, now, true, None)
+    }
+
+    /// [`AlertManager::show_replayed`] carrying the kernel's deny cause.
+    pub fn show_replayed_detailed(
+        &mut self,
+        process: impl Into<String>,
+        op: impl Into<String>,
+        granted: bool,
+        now: Timestamp,
+        reason: Option<&str>,
+    ) -> &Alert {
+        self.show_inner(
+            process.into(),
+            op.into(),
+            granted,
+            now,
+            true,
+            reason.map(str::to_string),
+        )
     }
 
     fn show_inner(
@@ -120,6 +167,7 @@ impl AlertManager {
         granted: bool,
         now: Timestamp,
         replayed: bool,
+        reason: Option<String>,
     ) -> &Alert {
         let alert = Alert {
             process,
@@ -129,6 +177,7 @@ impl AlertManager {
             expires: now + self.duration,
             secret: self.secret.clone(),
             replayed,
+            reason,
         };
         self.history.push(alert);
         self.history.last().expect("just pushed")
@@ -207,6 +256,29 @@ mod tests {
         assert!(rendered.ends_with("(delayed)"));
         assert!(Alert::looks_authentic(&rendered, "cat.png"));
         assert!(m.history()[0].replayed);
+    }
+
+    #[test]
+    fn detailed_alert_renders_the_deny_cause_before_the_delay_marker() {
+        let mut m = mgr();
+        let rendered = m
+            .show_detailed("spy", "mic", false, Timestamp::ZERO, Some("channel down"))
+            .render();
+        assert_eq!(
+            rendered,
+            "[cat.png] spy was blocked from the mic (channel down)"
+        );
+        let replayed = m
+            .show_replayed_detailed(
+                "spy",
+                "cam",
+                false,
+                Timestamp::ZERO,
+                Some("quarantined pending helper update"),
+            )
+            .render();
+        assert!(replayed.contains("(quarantined pending helper update)"));
+        assert!(replayed.ends_with("(delayed)"));
     }
 
     #[test]
