@@ -44,6 +44,12 @@ pub struct OverhaulConfig {
     /// display-manager crashes, and VFS stat failures during channel
     /// authentication. `None` means a fault-free run.
     pub fault: Option<FaultSpec>,
+    /// Enables virtual-time span tracing: a shared [`overhaul_sim::Tracer`]
+    /// is installed into the kernel and the display manager at boot, and
+    /// [`crate::System::trace_dump`] renders the collected span tree. Off
+    /// by default — a disabled tracer keeps the mediation hot paths free of
+    /// bookkeeping.
+    pub tracing: bool,
 }
 
 impl Default for OverhaulConfig {
@@ -57,6 +63,7 @@ impl Default for OverhaulConfig {
             ],
             integrated_dm: false,
             fault: None,
+            tracing: false,
         }
     }
 }
@@ -128,6 +135,14 @@ impl OverhaulConfig {
         self
     }
 
+    /// Enables virtual-time span tracing and metrics histograms (builder
+    /// style). Traces are deterministic: the same seed and workload produce
+    /// a byte-identical [`crate::System::trace_dump`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
     /// Tunes the channel retry policy (builder style): how many resends the
     /// kernel attempts before declaring the channel down, and the base
     /// virtual-time backoff doubled on each attempt.
@@ -191,6 +206,12 @@ mod tests {
         assert!(c.fault.is_some());
         assert_eq!(c.kernel.channel_max_retries, 5);
         assert_eq!(c.kernel.channel_retry_backoff, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn tracing_defaults_off_and_builder_enables() {
+        assert!(!OverhaulConfig::default().tracing);
+        assert!(OverhaulConfig::protected().with_tracing().tracing);
     }
 
     #[test]

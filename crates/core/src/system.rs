@@ -12,7 +12,9 @@ use overhaul_kernel::error::{Errno, SysResult};
 use overhaul_kernel::netlink::{ChannelState, ConnId, KernelPush, NetlinkError};
 use overhaul_kernel::syscall::OpenMode;
 use overhaul_kernel::{Kernel, XORG_PATH};
-use overhaul_sim::{AuditCategory, AuditLog, Clock, FaultPlan, Fd, Pid, SimDuration, Timestamp};
+use overhaul_sim::{
+    AuditCategory, AuditLog, Clock, FaultPlan, Fd, Pid, SimDuration, Timestamp, Tracer,
+};
 use overhaul_xserver::geometry::{Point, Rect};
 use overhaul_xserver::overlay::Alert;
 use overhaul_xserver::protocol::{ClientId, Reply, Request, XError};
@@ -69,6 +71,10 @@ pub struct System {
     x_conn: Option<ConnId>,
     config: OverhaulConfig,
     fault: Option<FaultPlan>,
+    /// Shared span tracer. Disabled unless `config.tracing`; clones of this
+    /// handle live inside the kernel and the display manager, all writing
+    /// into one buffer so `trace_dump` shows the interleaved span tree.
+    tracer: Tracer,
 }
 
 impl System {
@@ -98,7 +104,13 @@ impl System {
     /// keeps failing.
     pub fn try_new(config: OverhaulConfig) -> Result<Self, BootError> {
         let clock = Clock::new();
+        let tracer = if config.tracing {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         let mut kernel = Kernel::new(clock.clone(), config.kernel.clone());
+        kernel.install_tracer(tracer.clone());
         let fault = config.fault.clone().map(FaultPlan::new);
         if let Some(plan) = &fault {
             kernel.install_fault_plan(plan.clone());
@@ -120,7 +132,8 @@ impl System {
         } else {
             None
         };
-        let x = XServer::new(clock.clone(), config.x.clone());
+        let mut x = XServer::new(clock.clone(), config.x.clone());
+        x.install_tracer(tracer.clone());
         Ok(System {
             clock,
             kernel,
@@ -129,6 +142,7 @@ impl System {
             x_conn,
             config,
             fault,
+            tracer,
         })
     }
 
@@ -279,6 +293,25 @@ impl System {
     /// The kernel-side audit log.
     pub fn kernel_audit(&self) -> &AuditLog {
         self.kernel.audit()
+    }
+
+    /// The shared span tracer. Disabled (a no-op handle) unless the
+    /// machine was booted with [`OverhaulConfig::with_tracing`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Renders every span recorded so far as a deterministic JSON tree:
+    /// the same configuration, seed, and workload produce byte-identical
+    /// output. With tracing disabled this is the empty tree (`[]`).
+    pub fn trace_dump(&self) -> String {
+        self.tracer.render_json()
+    }
+
+    /// The unified metrics page, exactly as a process would read it from
+    /// `/proc/overhaul/metrics`.
+    pub fn metrics(&self) -> String {
+        self.kernel.render_metrics()
     }
 
     /// The display-manager audit log.

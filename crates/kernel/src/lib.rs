@@ -60,7 +60,8 @@ pub mod vfs;
 use std::collections::{HashMap, VecDeque};
 
 use overhaul_sim::{
-    AuditCategory, AuditLog, ChannelFault, Clock, FaultPlan, Pid, SimDuration, Timestamp, Uid,
+    AuditCategory, AuditLog, ChannelFault, Clock, FaultPlan, MetricsRegistry, Pid, SimDuration,
+    Timestamp, TraceValue, Tracer, Uid,
 };
 
 use crate::devfs::DeviceMap;
@@ -197,6 +198,19 @@ pub struct Kernel {
     /// Most recent traced outcome per `(pid, op)`, for
     /// [`Kernel::explain_last`].
     last_decisions: HashMap<(Pid, ResourceOp), DecisionOutcome>,
+    /// Monotone count of traced decisions, driving the deterministic
+    /// head-sampling of cache-hit `kernel.decide` spans.
+    decide_serial: u64,
+    /// Virtual-time span tracer. Disabled (no-op) by default; the system
+    /// harness installs a shared enabled handle when tracing is on, so the
+    /// kernel and the display manager record into one trace.
+    tracer: Tracer,
+    /// Tracing-native metrics with no legacy counterpart struct:
+    /// propagation hops per IPC mechanism, credit-chain saturation,
+    /// virtual-time histograms. Legacy counters ([`monitor::MonitorStats`],
+    /// [`mm::MmStats`], [`CacheStats`]) are mirrored into the procfs
+    /// metrics page at render time, so the two can never drift.
+    metrics: MetricsRegistry,
 }
 
 impl Kernel {
@@ -234,6 +248,9 @@ impl Kernel {
             policy_epoch: 0,
             verdict_cache: VerdictCache::new(),
             last_decisions: HashMap::new(),
+            decide_serial: 0,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::new(),
             vfs,
             clock,
             config,
@@ -331,6 +348,18 @@ impl Kernel {
         self.fault.as_ref()
     }
 
+    /// Installs a (shared) tracer handle. Every mediation path — decisions,
+    /// channel exchanges, page-fault interposition, IPC propagation hops —
+    /// records spans and events into it at virtual-time granularity.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The kernel's tracer handle (disabled unless one was installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Declares whether mediation depends on a live display channel. When
     /// set, every permission decision taken while the channel is
     /// [`ChannelState::Down`] is a fail-closed deny (and audited as such).
@@ -402,7 +431,16 @@ impl Kernel {
     /// Harnesses call this as virtual time advances.
     pub fn tick(&mut self) {
         let now = self.clock.now();
-        self.mm.tick(now);
+        let rearms = self.mm.tick(now);
+        if rearms > 0 {
+            self.metrics
+                .add_counter("overhaul_mm_rearm_events_total", rearms as u64);
+            self.tracer.event(
+                "mm.rearm",
+                now,
+                &[("count", TraceValue::U64(rearms as u64))],
+            );
+        }
     }
 
     // ---------------------------------------------------------------
@@ -607,9 +645,44 @@ impl Kernel {
         conn: ConnId,
         msg: NetlinkMessage,
     ) -> Result<NetlinkReply, NetlinkError> {
+        let start = self.clock.now();
+        let span = self.tracer.span_enter("kernel.channel.exchange", start);
+        self.tracer
+            .add_field(span, "kind", TraceValue::Static(netlink_msg_kind(&msg)));
+        let result = self.netlink_send_inner(conn, msg, span);
+        let end = self.clock.now();
+        self.tracer.add_field(
+            span,
+            "outcome",
+            TraceValue::Static(match &result {
+                Ok(_) => "ok",
+                Err(NetlinkError::ChannelDown) => "channel-down",
+                Err(_) => "error",
+            }),
+        );
+        self.tracer.span_exit(span, end);
+        if self.tracer.is_enabled() {
+            self.metrics.observe_ms(
+                "overhaul_channel_exchange_ms",
+                end.saturating_since(start).as_millis(),
+            );
+        }
+        result
+    }
+
+    /// [`Kernel::netlink_send`] minus the exchange span bookkeeping (the
+    /// wrapper owns enter/exit so the early returns below can never leak an
+    /// open span).
+    fn netlink_send_inner(
+        &mut self,
+        conn: ConnId,
+        msg: NetlinkMessage,
+        span: Option<overhaul_sim::SpanId>,
+    ) -> Result<NetlinkReply, NetlinkError> {
         overhaul_sim::work::spin_micros(Self::NETLINK_RTT_MICROS);
         self.netlink.authenticate(conn)?;
         let seq = self.netlink.assign_seq(conn)?;
+        self.tracer.add_field(span, "seq", TraceValue::U64(seq));
 
         let mut attempt: u32 = 0;
         let mut degraded = false;
@@ -624,6 +697,14 @@ impl Kernel {
                 ChannelFault::Delay(d) => {
                     self.clock.advance(d);
                     degraded = true;
+                    self.tracer.event(
+                        "channel.fault",
+                        self.clock.now(),
+                        &[
+                            ("fault", TraceValue::Static("delay")),
+                            ("delay_ms", TraceValue::U64(d.as_millis())),
+                        ],
+                    );
                     self.audit.record(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
@@ -635,6 +716,11 @@ impl Kernel {
                 ChannelFault::Duplicate => {
                     duplicated = true;
                     degraded = true;
+                    self.tracer.event(
+                        "channel.fault",
+                        self.clock.now(),
+                        &[("fault", TraceValue::Static("duplicate"))],
+                    );
                     break;
                 }
                 ChannelFault::Reorder
@@ -645,6 +731,11 @@ impl Kernel {
                     // The sender sees a normal Ack.
                     self.reorder_buffer.push((conn, seq, msg));
                     self.channel_transition(conn, ChannelState::Degraded);
+                    self.tracer.event(
+                        "channel.fault",
+                        self.clock.now(),
+                        &[("fault", TraceValue::Static("reorder-stash"))],
+                    );
                     self.audit.record(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
@@ -660,6 +751,14 @@ impl Kernel {
                     if attempt > self.config.channel_max_retries {
                         self.monitor.note_channel_drop();
                         self.channel_transition(conn, ChannelState::Down);
+                        self.tracer.event(
+                            "channel.fault",
+                            self.clock.now(),
+                            &[
+                                ("fault", TraceValue::Static("drop-giveup")),
+                                ("attempts", TraceValue::U64(u64::from(attempt))),
+                            ],
+                        );
                         self.audit.record(
                             self.clock.now(),
                             AuditCategory::ChannelEvent,
@@ -676,6 +775,15 @@ impl Kernel {
                     );
                     let backoff = SimDuration::from_millis(
                         self.config.channel_retry_backoff.as_millis() << (attempt - 1),
+                    );
+                    self.tracer.event(
+                        "channel.fault",
+                        self.clock.now(),
+                        &[
+                            ("fault", TraceValue::Static("drop-retry")),
+                            ("attempt", TraceValue::U64(u64::from(attempt))),
+                            ("backoff_ms", TraceValue::U64(backoff.as_millis())),
+                        ],
                     );
                     self.clock.advance(backoff);
                 }
@@ -707,6 +815,11 @@ impl Kernel {
     ) -> Result<NetlinkReply, NetlinkError> {
         if !self.netlink.mark_delivered(conn, seq)? {
             self.monitor.note_dup_suppressed();
+            self.tracer.event(
+                "channel.dup-suppressed",
+                self.clock.now(),
+                &[("seq", TraceValue::U64(seq))],
+            );
             self.audit.record(
                 self.clock.now(),
                 AuditCategory::ChannelEvent,
@@ -955,6 +1068,7 @@ impl Kernel {
             self.verdict_cache
                 .lookup(pid, op, quarantined, at, epoch, global_epoch)
         });
+        let cache_hit = cached.is_some();
         let outcome = match cached {
             Some(outcome) => outcome,
             None => {
@@ -977,8 +1091,72 @@ impl Kernel {
             }
         };
         self.apply_decision_effects(pid, at, op, &outcome);
+        if self.tracer.is_enabled() {
+            // Cache misses are always recorded; cache hits — the hot path —
+            // are head-sampled 1-in-N so tracing stays within its overhead
+            // budget. The sample counter is plain kernel state, so the
+            // sampling is deterministic and same-seed traces stay
+            // byte-identical. Every decision still lands in the monitor and
+            // cache counters exactly; only the per-hit span is thinned.
+            self.decide_serial = self.decide_serial.wrapping_add(1);
+            if !cache_hit || self.decide_serial.is_multiple_of(Self::DECIDE_HIT_SAMPLE) {
+                self.record_decide_span(pid, op, at, cache_hit, &outcome);
+            }
+            if !cache_hit {
+                if let DecisionTrace::WithinThreshold { elapsed, .. }
+                | DecisionTrace::Stale { elapsed, .. } = outcome.trace
+                {
+                    self.metrics
+                        .observe_ms("overhaul_interaction_age_ms", elapsed.as_millis());
+                }
+            }
+        }
+        if outcome.trace.chain().is_some_and(|c| c.saturated()) {
+            self.metrics
+                .inc_counter("overhaul_credit_chain_saturated_total");
+        }
         self.last_decisions.insert((pid, op), outcome);
         outcome
+    }
+
+    /// Every how-many-th cache-hit decision gets a span (misses always do).
+    const DECIDE_HIT_SAMPLE: u64 = 64;
+
+    /// Records the `kernel.decide` leaf span — out of line so the sampled
+    /// fast path in [`Kernel::decide_traced`] stays small.
+    #[inline(never)]
+    fn record_decide_span(
+        &self,
+        pid: Pid,
+        op: ResourceOp,
+        at: Timestamp,
+        cache_hit: bool,
+        outcome: &DecisionOutcome,
+    ) {
+        // One-lock leaf span: decisions are instantaneous in virtual
+        // time, so enter == exit and the span carries the evidence.
+        self.tracer.record_span(
+            "kernel.decide",
+            at,
+            at,
+            &[
+                ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                ("op", TraceValue::Static(op.as_str())),
+                (
+                    "cache",
+                    TraceValue::Static(if cache_hit { "hit" } else { "miss" }),
+                ),
+                (
+                    "verdict",
+                    TraceValue::Static(if outcome.decision.verdict.is_grant() {
+                        "grant"
+                    } else {
+                        "deny"
+                    }),
+                ),
+                ("rule", TraceValue::Static(outcome.trace.kind_str())),
+            ],
+        );
     }
 
     /// Applies a decision's side effects — monitor counters and the audit
@@ -1111,8 +1289,75 @@ impl Kernel {
                     s.alerts_queued
                 ))
             }
+            procfs::METRICS => Ok(self.render_metrics()),
             _ => Err(Errno::Enoent),
         }
+    }
+
+    /// Renders the unified Prometheus-style metrics page behind
+    /// [`procfs::METRICS`].
+    ///
+    /// Legacy counters ([`monitor::MonitorStats`], [`mm::MmStats`],
+    /// [`CacheStats`], fault-plan tallies) are read from their
+    /// authoritative structs *at render time* and mirrored into the
+    /// registry, so the page agrees with the legacy structs by
+    /// construction; the tracing-native metrics (propagation hops,
+    /// credit-chain saturation, histograms) are then absorbed from the
+    /// kernel's persistent registry.
+    pub fn render_metrics(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        let s = self.monitor.stats();
+        reg.set_counter("overhaul_monitor_notifications_total", s.notifications);
+        reg.set_counter("overhaul_monitor_grants_total", s.grants);
+        reg.set_counter("overhaul_monitor_denies_total", s.denies);
+        reg.set_counter(
+            "overhaul_monitor_fail_closed_denies_total",
+            s.fail_closed_denies,
+        );
+        reg.set_counter("overhaul_monitor_alerts_queued_total", s.alerts_queued);
+        reg.set_counter("overhaul_channel_retries_total", s.channel_retries);
+        reg.set_counter("overhaul_channel_drops_total", s.channel_drops);
+        reg.set_counter("overhaul_channel_reconnects_total", s.channel_reconnects);
+        reg.set_counter(
+            "overhaul_channel_dup_suppressed_total",
+            s.channel_dup_suppressed,
+        );
+        let m = self.mm.stats();
+        reg.set_counter("overhaul_mm_faults_total", m.faults);
+        reg.set_counter("overhaul_mm_direct_total", m.direct);
+        reg.set_counter("overhaul_mm_rearms_total", m.rearms);
+        let c = self.verdict_cache.stats();
+        reg.set_counter("overhaul_verdict_cache_hits_total", c.hits);
+        reg.set_counter("overhaul_verdict_cache_misses_total", c.misses);
+        reg.set_gauge("overhaul_verdict_cache_entries", c.entries as i64);
+        if let Some(plan) = &self.fault {
+            let f = plan.stats();
+            reg.set_counter("overhaul_fault_channel_draws_total", f.drawn);
+            reg.set_counter("overhaul_fault_drops_total", f.drops);
+            reg.set_counter("overhaul_fault_delays_total", f.delays);
+            reg.set_counter("overhaul_fault_duplicates_total", f.duplicates);
+            reg.set_counter("overhaul_fault_reorders_total", f.reorders);
+            reg.set_counter(
+                "overhaul_fault_vfs_stat_failures_total",
+                f.vfs_stat_failures,
+            );
+            reg.set_counter("overhaul_fault_crashes_fired_total", f.crashes_fired);
+        }
+        reg.set_gauge(
+            "overhaul_channel_state",
+            match self.netlink.state() {
+                ChannelState::Up => 2,
+                ChannelState::Degraded => 1,
+                ChannelState::Down => 0,
+            },
+        );
+        reg.set_gauge("overhaul_trace_spans", self.tracer.span_count() as i64);
+        reg.set_gauge(
+            "overhaul_trace_dropped_spans",
+            self.tracer.dropped_spans() as i64,
+        );
+        reg.absorb(&self.metrics);
+        reg.render()
     }
 
     /// Writes an Overhaul procfs node. Superuser only.
@@ -1152,6 +1397,15 @@ impl Kernel {
             }
             _ => Err(Errno::Enoent),
         }
+    }
+}
+
+/// Static span-field label for a channel message kind.
+fn netlink_msg_kind(msg: &NetlinkMessage) -> &'static str {
+    match msg {
+        NetlinkMessage::InteractionNotification { .. } => "notify",
+        NetlinkMessage::PermissionQuery { .. } => "query",
+        NetlinkMessage::DeviceMapUpdate { .. } => "devmap",
     }
 }
 

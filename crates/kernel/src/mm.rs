@@ -227,10 +227,29 @@ impl MemoryManager {
         _kind: AccessKind,
         now: Timestamp,
     ) -> SysResult<AccessPath> {
-        let vma = self.vmas.get_mut(&id).ok_or(Errno::Efault)?;
-        if vma.pid != pid {
+        if self.vmas.get(&id).ok_or(Errno::Efault)?.pid != pid {
             return Err(Errno::Eperm);
         }
+        // Lazily expire this mapping's wait entry: the window is open
+        // strictly for `now < expires` (mirroring the monitor's strict-δ
+        // comparison), so an access at exactly the re-arm deadline — or
+        // later, if no tick ran in between — must take the re-armed fault
+        // path rather than sneak through uninterposed.
+        if self.interpose {
+            if let Some(pos) = self
+                .wait_list
+                .iter()
+                .position(|e| e.vma == id && e.expires <= now)
+            {
+                self.wait_list.swap_remove(pos);
+                self.vmas
+                    .get_mut(&id)
+                    .expect("looked up above")
+                    .perms_revoked = true;
+                self.stats.rearms += 1;
+            }
+        }
+        let vma = self.vmas.get_mut(&id).ok_or(Errno::Efault)?;
         if self.interpose && vma.perms_revoked {
             vma.perms_revoked = false;
             self.wait_list.push(WaitEntry {
@@ -353,6 +372,52 @@ mod tests {
             AccessPath::Faulted
         );
         assert_eq!(mm.stats().rearms, 1);
+    }
+
+    #[test]
+    fn access_at_exact_rearm_deadline_refaults_without_tick() {
+        // Regression: revoke-then-fault at exactly `t + wait` must hold
+        // even when no tick ran between the fault and the boundary access.
+        let mut mm = mm();
+        let vma = mm.map_shared(pid(), ShmId::from_raw(1));
+        let t0 = Timestamp::from_millis(0);
+        assert_eq!(
+            mm.begin_access(vma, pid(), AccessKind::Write, t0).unwrap(),
+            AccessPath::Faulted
+        );
+        // Strictly inside the window: uninterposed.
+        assert_eq!(
+            mm.begin_access(
+                vma,
+                pid(),
+                AccessKind::Read,
+                t0 + SimDuration::from_millis(499)
+            )
+            .unwrap(),
+            AccessPath::Direct
+        );
+        // Exactly at the 500 ms deadline, no tick in between: the wait
+        // entry expires lazily and the access refaults.
+        assert_eq!(
+            mm.begin_access(vma, pid(), AccessKind::Read, t0 + WAIT)
+                .unwrap(),
+            AccessPath::Faulted,
+            "boundary access must take the re-armed fault path"
+        );
+        assert_eq!(mm.stats().rearms, 1, "lazy expiry counts as a re-arm");
+        assert_eq!(mm.stats().faults, 2);
+        // The refault reopened the window: the next in-window access is
+        // direct again.
+        assert_eq!(
+            mm.begin_access(
+                vma,
+                pid(),
+                AccessKind::Read,
+                t0 + WAIT + SimDuration::from_millis(1)
+            )
+            .unwrap(),
+            AccessPath::Direct
+        );
     }
 
     #[test]

@@ -40,16 +40,24 @@ pub enum ResourceOp {
     Paste,
 }
 
-impl fmt::Display for ResourceOp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl ResourceOp {
+    /// The paper's short name for the operation class — static, so trace
+    /// spans and metric labels on the mediation hot path never allocate.
+    pub fn as_str(self) -> &'static str {
+        match self {
             ResourceOp::Mic => "mic",
             ResourceOp::Cam => "cam",
             ResourceOp::Sensor => "sensor",
             ResourceOp::Screen => "scr",
             ResourceOp::Copy => "copy",
             ResourceOp::Paste => "paste",
-        })
+        }
+    }
+}
+
+impl fmt::Display for ResourceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

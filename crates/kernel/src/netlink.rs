@@ -159,6 +159,11 @@ struct Connection {
     is_display: bool,
     next_seq: u64,
     delivered: BTreeSet<u64>,
+    /// Contiguous-delivery floor: every sequence number `<= watermark` is
+    /// treated as already delivered. Eviction from the bounded `delivered`
+    /// record happens strictly in sequence order *below* this floor, so an
+    /// evicted sequence number can never be readmitted by a late duplicate.
+    watermark: u64,
 }
 
 /// Registry of authenticated kernel↔userspace channels.
@@ -244,6 +249,7 @@ impl Netlink {
                 is_display,
                 next_seq: 0,
                 delivered: BTreeSet::new(),
+                watermark: 0,
             },
         );
         if is_display {
@@ -311,9 +317,15 @@ impl Netlink {
     }
 
     /// Records that `seq` was delivered on `conn`. Returns `false` if it
-    /// was already delivered (a duplicate to be suppressed). The record is
-    /// bounded: only the last [`DELIVERY_RECORD`] sequence numbers are
-    /// remembered.
+    /// was already delivered (a duplicate to be suppressed).
+    ///
+    /// The record is bounded: at most [`DELIVERY_RECORD`] out-of-order
+    /// sequence numbers are stored explicitly, and everything at or below a
+    /// contiguous-delivery watermark is remembered implicitly. Eviction
+    /// raises the watermark over the evicted (lowest) sequence number, so a
+    /// late duplicate of an evicted seq is still suppressed — the record
+    /// can only ever forget *towards* "already delivered", never towards
+    /// re-admitting a duplicate.
     ///
     /// # Errors
     ///
@@ -323,9 +335,22 @@ impl Netlink {
             .connections
             .get_mut(&conn)
             .ok_or(NetlinkError::UnknownConnection)?;
+        if seq <= c.watermark {
+            return Ok(false);
+        }
         let fresh = c.delivered.insert(seq);
-        while c.delivered.len() > DELIVERY_RECORD {
-            c.delivered.pop_first();
+        if fresh {
+            // Fold the contiguous prefix into the watermark...
+            while c.delivered.remove(&(c.watermark + 1)) {
+                c.watermark += 1;
+            }
+            // ...then evict strictly in sequence order, keeping the floor
+            // over everything evicted.
+            while c.delivered.len() > DELIVERY_RECORD {
+                if let Some(lowest) = c.delivered.pop_first() {
+                    c.watermark = lowest;
+                }
+            }
         }
         Ok(fresh)
     }
@@ -545,6 +570,53 @@ mod tests {
         for _ in 0..(DELIVERY_RECORD as u64 + 32) {
             let seq = netlink.assign_seq(conn).unwrap();
             assert!(netlink.mark_delivered(conn, seq).unwrap());
+        }
+    }
+
+    #[test]
+    fn evicted_seq_cannot_readmit_late_duplicate() {
+        // Regression: the bounded delivery record used to evict the lowest
+        // stored seq outright, so a late duplicate of an evicted seq was
+        // readmitted as "fresh" and delivered twice. The watermark keeps
+        // every evicted seq implicitly remembered.
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        let first = netlink.assign_seq(conn).unwrap();
+        assert!(netlink.mark_delivered(conn, first).unwrap());
+        // Push far past the record bound.
+        for _ in 0..(DELIVERY_RECORD as u64 * 3) {
+            let seq = netlink.assign_seq(conn).unwrap();
+            assert!(netlink.mark_delivered(conn, seq).unwrap());
+        }
+        assert!(
+            !netlink.mark_delivered(conn, first).unwrap(),
+            "a late duplicate of a long-evicted seq must stay suppressed"
+        );
+    }
+
+    #[test]
+    fn out_of_order_delivery_record_stays_bounded_and_exact() {
+        let (mut netlink, mut tasks, vfs) = setup();
+        let x = tasks.spawn(Pid::INIT, XORG).unwrap();
+        let conn = netlink.connect(&tasks, &vfs, x).unwrap();
+        // Deliver only even seqs first (holes keep the watermark low), far
+        // past the bound, then replay: every delivered seq must still read
+        // as a duplicate, and the holes below the (raised) floor are
+        // conservatively suppressed too — the record forgets only towards
+        // "already delivered", never towards readmission.
+        let total = DELIVERY_RECORD as u64 * 4;
+        for _ in 0..total {
+            netlink.assign_seq(conn).unwrap();
+        }
+        for seq in (2..=total).step_by(2) {
+            assert!(netlink.mark_delivered(conn, seq).unwrap());
+        }
+        for seq in (2..=total).step_by(2) {
+            assert!(
+                !netlink.mark_delivered(conn, seq).unwrap(),
+                "replay of delivered seq {seq} must be suppressed"
+            );
         }
     }
 

@@ -96,11 +96,14 @@ pub enum CreditHop {
 /// how the timestamp travelled from the hardware input to this task.
 ///
 /// Fixed-capacity and `Copy` so snapshots, traces, and cache entries
-/// never allocate; chains longer than [`MAX_CREDIT_HOPS`] saturate
-/// (further hops are dropped, the stored prefix stays correct).
+/// never allocate; chains longer than [`MAX_CREDIT_HOPS`] saturate. A
+/// saturated chain keeps its correct prefix and — so decision traces can
+/// never silently misreport provenance on long IPC chains — records that
+/// hops were dropped in [`CreditChain::saturated`].
 #[derive(Clone, Copy, Serialize, Deserialize)]
 pub struct CreditChain {
     len: u8,
+    saturated: bool,
     hops: [CreditHop; MAX_CREDIT_HOPS],
 }
 
@@ -109,6 +112,7 @@ impl CreditChain {
     pub const fn empty() -> Self {
         CreditChain {
             len: 0,
+            saturated: false,
             hops: [CreditHop::Direct; MAX_CREDIT_HOPS],
         }
     }
@@ -124,10 +128,14 @@ impl CreditChain {
     }
 
     /// This chain with `hop` appended; saturates at [`MAX_CREDIT_HOPS`].
+    /// A hop dropped by saturation is recorded in
+    /// [`CreditChain::saturated`] rather than lost silently.
     pub fn extended(mut self, hop: CreditHop) -> Self {
         if (self.len as usize) < MAX_CREDIT_HOPS {
             self.hops[self.len as usize] = hop;
             self.len += 1;
+        } else {
+            self.saturated = true;
         }
         self
     }
@@ -146,6 +154,12 @@ impl CreditChain {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Whether hops beyond [`MAX_CREDIT_HOPS`] were dropped: the recorded
+    /// prefix is correct but the chain's tail is not fully known.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
 }
 
 impl Default for CreditChain {
@@ -156,7 +170,7 @@ impl Default for CreditChain {
 
 impl PartialEq for CreditChain {
     fn eq(&self, other: &Self) -> bool {
-        self.hops() == other.hops()
+        self.saturated == other.saturated && self.hops() == other.hops()
     }
 }
 
@@ -164,7 +178,11 @@ impl Eq for CreditChain {}
 
 impl fmt::Debug for CreditChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_list().entries(self.hops()).finish()
+        f.debug_list().entries(self.hops()).finish()?;
+        if self.saturated {
+            f.write_str(" (saturated: hops dropped)")?;
+        }
+        Ok(())
     }
 }
 
@@ -326,6 +344,32 @@ impl DecisionTrace {
         }
     }
 
+    /// A short static label naming the rule that fired, for span fields
+    /// and metrics labels.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            DecisionTrace::WithinThreshold { .. } => "within-threshold",
+            DecisionTrace::GrantAll { .. } => "grant-all",
+            DecisionTrace::NoInteraction => "no-interaction",
+            DecisionTrace::Stale { .. } => "stale",
+            DecisionTrace::PermissionsFrozen => "permissions-frozen",
+            DecisionTrace::ChannelDown => "channel-down",
+            DecisionTrace::Quarantined => "quarantined",
+            DecisionTrace::UnknownProcess => "unknown-process",
+        }
+    }
+
+    /// The propagation chain behind the decision's evidence, when the
+    /// fired rule consulted one.
+    pub fn chain(&self) -> Option<&CreditChain> {
+        match self {
+            DecisionTrace::WithinThreshold { chain, .. } | DecisionTrace::Stale { chain, .. } => {
+                Some(chain)
+            }
+            _ => None,
+        }
+    }
+
     /// A human-readable one-line explanation (the `explain_last` hook).
     pub fn describe(&self) -> String {
         match self {
@@ -407,9 +451,8 @@ impl DecisionOutcome {
                 ..
             } => {
                 *elapsed = at.saturating_since(*interaction_at);
-                *over_by = SimDuration::from_millis(
-                    elapsed.as_millis().saturating_sub(delta.as_millis()),
-                );
+                *over_by =
+                    SimDuration::from_millis(elapsed.as_millis().saturating_sub(delta.as_millis()));
                 self.decision.reason = DecisionReason::Expired { elapsed: *elapsed };
             }
             _ => {}
@@ -476,7 +519,9 @@ impl PolicyEngine {
                                 elapsed,
                                 delta: snapshot.delta,
                                 over_by: SimDuration::from_millis(
-                                    elapsed.as_millis().saturating_sub(snapshot.delta.as_millis()),
+                                    elapsed
+                                        .as_millis()
+                                        .saturating_sub(snapshot.delta.as_millis()),
                                 ),
                                 chain: task.chain,
                             }
@@ -950,6 +995,41 @@ mod tests {
     }
 
     #[test]
+    fn credit_chain_saturation_is_recorded_not_silent() {
+        let mut chain = CreditChain::direct();
+        for _ in 1..MAX_CREDIT_HOPS {
+            chain = chain.extended(CreditHop::Fork);
+        }
+        // Exactly full: nothing dropped yet.
+        assert_eq!(chain.len(), MAX_CREDIT_HOPS);
+        assert!(!chain.saturated());
+
+        let full = chain;
+        chain = chain.extended(CreditHop::Ipc(IpcMechanism::Pipe));
+        assert!(chain.saturated(), "dropped hop must set the flag");
+        assert_eq!(chain.hops(), full.hops(), "prefix stays intact");
+        assert_ne!(chain, full, "saturation is visible to equality");
+
+        // Saturation is rendered, so decision traces and audit output
+        // can never silently misreport a truncated chain.
+        let rendered = format!("{chain:?}");
+        assert!(rendered.contains("saturated"), "{rendered}");
+        assert!(!format!("{full:?}").contains("saturated"));
+        let trace = DecisionTrace::Stale {
+            interaction_at: Timestamp::from_millis(100),
+            elapsed: SimDuration::from_millis(5000),
+            delta: SimDuration::from_millis(2000),
+            over_by: SimDuration::from_millis(3000),
+            chain,
+        };
+        assert!(
+            trace.describe().contains("saturated"),
+            "{}",
+            trace.describe()
+        );
+    }
+
+    #[test]
     fn ipc_mechanism_names_match_audit_strings() {
         assert_eq!(IpcMechanism::Pipe.as_str(), "pipe");
         assert_eq!(IpcMechanism::UnixSocket.as_str(), "unix-socket");
@@ -1085,6 +1165,8 @@ mod tests {
         let text = grant.trace.describe();
         assert!(text.contains("granted"));
         assert!(text.contains("500ms"));
-        assert!(DecisionTrace::ChannelDown.describe().contains("fail closed"));
+        assert!(DecisionTrace::ChannelDown
+            .describe()
+            .contains("fail closed"));
     }
 }

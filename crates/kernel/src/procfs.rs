@@ -15,8 +15,15 @@ pub const DELTA_MS: &str = "/proc/overhaul/delta_ms";
 /// Read-only permission-monitor counters.
 pub const STATS: &str = "/proc/overhaul/stats";
 
+/// Read-only Prometheus-style metrics page: every monitor and channel
+/// counter, memory-manager and verdict-cache statistics, fault-injection
+/// tallies, and the tracing-native metrics (propagation hops per IPC
+/// mechanism, credit-chain saturation, virtual-time histograms) rendered
+/// from one [`overhaul_sim::MetricsRegistry`].
+pub const METRICS: &str = "/proc/overhaul/metrics";
+
 /// All known node paths.
-pub const ALL_NODES: [&str; 3] = [PTRACE_HARDENING, DELTA_MS, STATS];
+pub const ALL_NODES: [&str; 4] = [PTRACE_HARDENING, DELTA_MS, STATS, METRICS];
 
 #[cfg(test)]
 mod tests {

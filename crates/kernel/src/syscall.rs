@@ -18,7 +18,7 @@
 //! (no offsets), writes append, and the open mode is not re-checked on
 //! subsequent reads/writes.
 
-use overhaul_sim::{AuditCategory, Fd, Pid, Timestamp, Uid};
+use overhaul_sim::{AuditCategory, Fd, Pid, Timestamp, TraceValue, Uid};
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceClass;
@@ -686,6 +686,15 @@ impl Kernel {
         let now = self.clock.now();
         let path = self.mm.begin_access(vma, pid, AccessKind::Write, now)?;
         if path == AccessPath::Faulted {
+            self.tracer.event(
+                "mm.fault",
+                now,
+                &[
+                    ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                    ("vma", TraceValue::U64(vma.as_raw())),
+                    ("kind", TraceValue::Static("write")),
+                ],
+            );
             let sender = self.sender_ts(pid);
             let slot = self.shm.embedded_ts_mut(mapping.shm())?;
             if embed_on_send(slot, sender) {
@@ -714,6 +723,15 @@ impl Kernel {
         let now = self.clock.now();
         let path = self.mm.begin_access(vma, pid, AccessKind::Read, now)?;
         if path == AccessPath::Faulted {
+            self.tracer.event(
+                "mm.fault",
+                now,
+                &[
+                    ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                    ("vma", TraceValue::U64(vma.as_raw())),
+                    ("kind", TraceValue::Static("read")),
+                ],
+            );
             let slot = self.shm.get(mapping.shm())?.embedded_ts();
             self.adopt_into(pid, slot, IpcMechanism::Shm);
         }
@@ -799,8 +817,22 @@ impl Kernel {
         };
         if let Some(adopted) = adopt_on_receive(task.raw_interaction(), slot) {
             task.adopt_interaction(adopted, mechanism);
+            let now = self.clock.now();
+            self.metrics.inc_counter(&format!(
+                "overhaul_propagation_hops_total{{mechanism=\"{}\"}}",
+                mechanism.as_str()
+            ));
+            self.tracer.event(
+                "ipc.hop",
+                now,
+                &[
+                    ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                    ("mechanism", TraceValue::Static(mechanism.as_str())),
+                    ("adopted_ms", TraceValue::U64(adopted.as_millis())),
+                ],
+            );
             self.audit.record(
-                self.clock.now(),
+                now,
                 AuditCategory::InteractionPropagated,
                 Some(pid),
                 format!("adopted {adopted} via {}", mechanism.as_str()),
@@ -808,9 +840,21 @@ impl Kernel {
         }
     }
 
-    fn audit_propagation_embed(&mut self, pid: Pid, mechanism: &str) {
+    fn audit_propagation_embed(&mut self, pid: Pid, mechanism: &'static str) {
+        let now = self.clock.now();
+        self.metrics.inc_counter(&format!(
+            "overhaul_propagation_embeds_total{{mechanism=\"{mechanism}\"}}"
+        ));
+        self.tracer.event(
+            "ipc.embed",
+            now,
+            &[
+                ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                ("mechanism", TraceValue::Static(mechanism)),
+            ],
+        );
         self.audit.record(
-            self.clock.now(),
+            now,
             AuditCategory::InteractionPropagated,
             Some(pid),
             format!("embedded into {mechanism}"),

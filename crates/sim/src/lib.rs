@@ -16,6 +16,11 @@
 //! * [`audit`] — a structured audit log; the permission monitor, the display
 //!   manager, and the experiment harnesses all append here, and the
 //!   evaluation binaries read their results back out of it.
+//! * [`trace`] — deterministic virtual-time span tracing ([`Tracer`]) and a
+//!   [`MetricsRegistry`] of counters/gauges/histograms; every mediation path
+//!   (decisions, channel exchanges, page faults, IPC propagation hops,
+//!   input authentication) reports here, and the same seed produces a
+//!   byte-identical trace dump.
 //!
 //! # Example
 //!
@@ -36,6 +41,7 @@ pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod time;
+pub mod trace;
 pub mod work;
 
 pub use audit::{AuditCategory, AuditEvent, AuditLog};
@@ -43,3 +49,4 @@ pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};
 pub use rng::SimRng;
 pub use time::{Clock, SimDuration, Timestamp};
+pub use trace::{MetricsRegistry, SpanId, SpanKind, SpanNode, Tracer, Value as TraceValue};

@@ -55,7 +55,9 @@ pub mod protocol;
 pub mod selection;
 pub mod window;
 
-use overhaul_sim::{AuditCategory, AuditLog, Clock, Pid, SimDuration, Timestamp};
+use overhaul_sim::{
+    AuditCategory, AuditLog, Clock, Pid, SimDuration, Timestamp, TraceValue, Tracer,
+};
 
 use crate::client::ClientRegistry;
 use crate::geometry::{Point, Rect};
@@ -120,6 +122,10 @@ pub struct XServer {
     prompts: PromptSurface,
     focus: Option<WindowId>,
     audit: AuditLog,
+    /// Virtual-time span tracer. Disabled (no-op) unless the system harness
+    /// installs a shared enabled handle, in which case the display manager
+    /// records into the same trace as the kernel.
+    tracer: Tracer,
 }
 
 impl XServer {
@@ -150,7 +156,19 @@ impl XServer {
             prompts,
             focus: None,
             audit: AuditLog::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a (shared) tracer handle; input authentication and
+    /// clickjacking checks record spans into it.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The server's tracer handle (disabled unless one was installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current configuration.
@@ -360,6 +378,23 @@ impl XServer {
             let stable = stable_cutoff
                 .map(|cutoff| self.windows.client_has_stable_window(owner, cutoff))
                 .unwrap_or(false);
+            self.tracer.record_span(
+                "x.input",
+                now,
+                now,
+                &[
+                    ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
+                    ("window", TraceValue::U64(window.as_raw())),
+                    (
+                        "auth",
+                        TraceValue::Static(if stable {
+                            "notified"
+                        } else {
+                            "clickjack-suppressed"
+                        }),
+                    ),
+                ],
+            );
             if stable {
                 link.notify_interaction(pid, now);
                 self.audit.record(
@@ -787,7 +822,7 @@ impl XServer {
                 format!("ConvertSelection {selection}"),
             );
         }
-        let Some((owner_client, _)) = self.selections.state_mut(&selection).owner else {
+        let Some((owner_client, owner_window)) = self.selections.state_mut(&selection).owner else {
             // No owner: ICCCM answers with a notify carrying no property.
             self.clients.deliver(
                 client,
@@ -798,6 +833,28 @@ impl XServer {
             )?;
             return Ok(Reply::Ok);
         };
+        // Fail closed on a stale owner: if the owning client is gone (its
+        // connection died without the full disconnect cleanup) or the window
+        // it asserted ownership through no longer exists, the interaction
+        // evidence behind the ownership is stale — clear the record and deny
+        // rather than brokering a paste sourced from it.
+        if self.clients.get(owner_client).is_err() || self.windows.get(owner_window).is_err() {
+            let state = self.selections.state_mut(&selection);
+            state.owner = None;
+            state.transfer = None;
+            self.tracer.event(
+                "x.selection.stale-owner",
+                now,
+                &[("pid", TraceValue::U64(u64::from(pid.as_raw())))],
+            );
+            self.audit.record(
+                now,
+                AuditCategory::PermissionDenied,
+                Some(pid),
+                format!("ConvertSelection {selection}: stale owner, failing closed"),
+            );
+            return Err(XError::BadAccess);
+        }
         self.selections.state_mut(&selection).transfer = Some(Transfer {
             source: owner_client,
             target: client,

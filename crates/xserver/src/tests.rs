@@ -624,6 +624,103 @@ fn baseline_copy_paste_needs_no_grants() {
 }
 
 #[test]
+fn paste_after_owner_disconnect_fails_closed() {
+    // Regression: a paste brokered after the owning client's connection
+    // died (without the full disconnect cleanup running first) used to
+    // reuse the stale ownership record — and with it the owner's stale
+    // interaction evidence. It must deny and clear the record instead.
+    let mut rig = Rig::new();
+    let owner = rig.client(20);
+    let target = rig.client(21);
+    let ow = rig.stable_window(owner, Rect::new(0, 0, 10, 10));
+    let tw = rig.stable_window(target, Rect::new(20, 0, 10, 10));
+    let mut link = MockLink::granting();
+    rig.x
+        .request(
+            owner,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: ow,
+            },
+            &mut link,
+        )
+        .unwrap();
+    // Tear down only the connection record (crash-style teardown ordering),
+    // leaving the selection table's owner entry stale.
+    rig.x.clients.disconnect(owner).unwrap();
+    let result = rig.x.request(
+        target,
+        Request::ConvertSelection {
+            selection: Atom::clipboard(),
+            requestor: tw,
+            property: Atom::new("XSEL_DATA"),
+        },
+        &mut link,
+    );
+    assert_eq!(result, Err(XError::BadAccess), "must fail closed");
+    assert!(
+        rig.x
+            .audit()
+            .events()
+            .iter()
+            .any(|e| e.detail.contains("stale owner")),
+        "deny is audited with its cause"
+    );
+    // The stale record is gone: a retry sees "no owner" and gets the
+    // ordinary ICCCM empty notify, not a brokered transfer.
+    rig.x
+        .request(
+            target,
+            Request::ConvertSelection {
+                selection: Atom::clipboard(),
+                requestor: tw,
+                property: Atom::new("XSEL_DATA"),
+            },
+            &mut link,
+        )
+        .unwrap();
+    let ev = rig.x.next_event(target).unwrap().expect("empty notify");
+    assert!(
+        matches!(ev, XEvent::SelectionNotify { property, .. } if property == Atom::new("NONE"))
+    );
+}
+
+#[test]
+fn paste_after_owner_window_destroyed_fails_closed() {
+    let mut rig = Rig::new();
+    let owner = rig.client(20);
+    let target = rig.client(21);
+    let ow = rig.stable_window(owner, Rect::new(0, 0, 10, 10));
+    let tw = rig.stable_window(target, Rect::new(20, 0, 10, 10));
+    let mut link = MockLink::granting();
+    rig.x
+        .request(
+            owner,
+            Request::SetSelectionOwner {
+                selection: Atom::clipboard(),
+                window: ow,
+            },
+            &mut link,
+        )
+        .unwrap();
+    // The owner destroys the window it asserted ownership through: the
+    // evidence backing the ownership is gone.
+    rig.x
+        .request(owner, Request::DestroyWindow { window: ow }, &mut link)
+        .unwrap();
+    let result = rig.x.request(
+        target,
+        Request::ConvertSelection {
+            selection: Atom::clipboard(),
+            requestor: tw,
+            property: Atom::new("XSEL_DATA"),
+        },
+        &mut link,
+    );
+    assert_eq!(result, Err(XError::BadAccess), "must fail closed");
+}
+
+#[test]
 fn forged_selection_request_is_blocked() {
     let mut rig = Rig::new();
     let owner = rig.client(20);

@@ -97,6 +97,52 @@ fn duplicate_storm_is_suppressed_by_dedup() {
     assert!(stats.channel_dup_suppressed >= 3);
 }
 
+/// Regression for the duplicate-suppression eviction bug: the bounded
+/// per-connection delivery record used to evict sequence numbers in an
+/// order that could readmit a late duplicate of an already-applied
+/// notification. Eviction now only forgets *below* the contiguous-delivery
+/// watermark, so a long seeded storm of duplicated and reordered
+/// notifications — far more traffic than the record holds — must still
+/// apply every interaction exactly once, in both directions: no replayed
+/// copy is re-applied, and no genuinely fresh notification is wrongly
+/// suppressed.
+#[test]
+fn long_duplicate_storm_never_reapplies_after_eviction() {
+    let (mut system, app, _) = machine_under(
+        FaultSpec::quiet(0xded0)
+            .with_duplicate_p(0.6)
+            .with_reorder_p(0.3)
+            .with_delay_p(0.2),
+    );
+    // Well past the 64-entry delivery record.
+    const CLICKS: u64 = 100;
+    for _ in 0..CLICKS {
+        assert!(system.click_window(app.window));
+        system.advance(SimDuration::from_millis(10));
+    }
+    // A reordered notification is stashed until the next exchange; disarm
+    // the plan and send one clean click to drain any stashed tail.
+    system
+        .fault_plan()
+        .expect("plan installed")
+        .set_armed(false);
+    assert!(system.click_window(app.window));
+
+    let stats = system.kernel().monitor_stats();
+    assert_eq!(
+        stats.notifications,
+        CLICKS + 1,
+        "every click must be recorded exactly once, duplicates and \
+         reorders notwithstanding"
+    );
+    assert!(
+        stats.channel_dup_suppressed >= CLICKS / 3,
+        "the seeded storm must actually have exercised the dedup path \
+         (suppressed only {})",
+        stats.channel_dup_suppressed
+    );
+}
+
 #[test]
 fn crash_restart_cycle_replays_every_buffered_alert_once() {
     let (mut system, _, spy) = machine_under(FaultSpec::quiet(5));
@@ -275,7 +321,10 @@ proptest! {
                 AuditCategory::ChannelEvent => {
                     if e.detail.contains("-> down") {
                         down = true;
-                    } else if e.detail.contains("-> up") {
+                    } else if e.detail.contains("-> up") || e.detail.contains("-> degraded") {
+                        // Degraded is a functioning channel (faults observed,
+                        // exchanges still completing), so a `down -> degraded`
+                        // transition is a recovery.
                         down = false;
                     }
                 }

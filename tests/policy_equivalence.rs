@@ -246,7 +246,10 @@ fn faulted_machine_decisions_match_the_legacy_shape() {
             let result = system.open_device(app.pid, "/dev/snd/mic0");
             match expected {
                 Verdict::Grant => {
-                    assert!(result.is_ok(), "seed {seed} step {step}: engine denied where the legacy shape grants");
+                    assert!(
+                        result.is_ok(),
+                        "seed {seed} step {step}: engine denied where the legacy shape grants"
+                    );
                 }
                 Verdict::Deny => {
                     assert_eq!(
@@ -276,11 +279,13 @@ fn kernel_fixture() -> (Clock, Kernel, Pid) {
 fn interaction_bumps_invalidate_cached_denies() {
     let (_clock, mut kernel, app) = kernel_fixture();
     let t = Timestamp::from_millis(100);
-    assert!(!kernel.decide_direct(app, t, ResourceOp::Cam).verdict.is_grant());
+    assert!(!kernel
+        .decide_direct(app, t, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     let misses = kernel.verdict_cache_stats().misses;
     kernel.record_interaction_direct(app, t).unwrap();
-    let after = kernel
-        .decide_direct(app, Timestamp::from_millis(150), ResourceOp::Cam);
+    let after = kernel.decide_direct(app, Timestamp::from_millis(150), ResourceOp::Cam);
     assert!(after.verdict.is_grant());
     assert_eq!(
         kernel.verdict_cache_stats().misses,
@@ -296,14 +301,20 @@ fn config_changes_invalidate_cached_grants() {
         .record_interaction_direct(app, Timestamp::ZERO)
         .unwrap();
     let at = Timestamp::from_millis(1_500);
-    assert!(kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     // Shrink δ below the already-cached gap: the global policy epoch moves,
     // so the cached grant must not survive.
     kernel.set_monitor_config(MonitorConfig {
         delta: SimDuration::from_secs(1),
         grant_all: false,
     });
-    assert!(!kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(!kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
 }
 
 #[test]
@@ -313,7 +324,10 @@ fn channel_transitions_invalidate_cached_outcomes() {
         .record_interaction_direct(app, Timestamp::from_millis(100))
         .unwrap();
     let at = Timestamp::from_millis(200);
-    assert!(kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     // Requiring a (nonexistent) channel flips the decision to a fail-closed
     // deny at the same instant.
     kernel.set_channel_required(true);
@@ -328,7 +342,10 @@ fn channel_transitions_invalidate_cached_outcomes() {
     let x = kernel.sys_spawn(Pid::INIT, XORG_PATH).unwrap();
     kernel.netlink_connect(x).unwrap();
     assert_eq!(kernel.channel_state(), ChannelState::Up);
-    assert!(kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
 }
 
 #[test]
@@ -338,16 +355,24 @@ fn device_map_mutations_bump_the_global_epoch() {
         .record_interaction_direct(app, Timestamp::from_millis(100))
         .unwrap();
     let at = Timestamp::from_millis(200);
-    assert!(kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     let epoch = kernel.policy_epoch();
     let hits = kernel.verdict_cache_stats().hits;
-    kernel.udev_rename_device("/dev/video0", "/dev/video1").unwrap();
+    kernel
+        .udev_rename_device("/dev/video0", "/dev/video1")
+        .unwrap();
     assert!(
         kernel.policy_epoch() > epoch,
         "map mutations must move the global policy epoch"
     );
     // Same query re-evaluates instead of hitting the stale entry.
-    assert!(kernel.decide_direct(app, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(app, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     assert_eq!(
         kernel.verdict_cache_stats().hits,
         hits,
@@ -367,7 +392,10 @@ fn fork_children_start_at_epoch_zero_and_decide_fresh() {
     let misses = kernel.verdict_cache_stats().misses;
     // The child inherits the timestamp (P1) but not the parent's cache
     // entries: its first query is a miss with its own justification.
-    assert!(kernel.decide_direct(child, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(child, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     assert_eq!(kernel.verdict_cache_stats().misses, misses + 1);
 }
 
@@ -379,7 +407,10 @@ fn freeze_flips_invalidate_cached_grants() {
         .unwrap();
     let child = kernel.sys_fork(app).unwrap();
     let at = Timestamp::from_millis(200);
-    assert!(kernel.decide_direct(child, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(child, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
     kernel.sys_ptrace_attach(app, child).unwrap();
     let frozen = kernel.decide_direct(child, at, ResourceOp::Cam);
     assert!(!frozen.verdict.is_grant());
@@ -388,7 +419,10 @@ fn freeze_flips_invalidate_cached_grants() {
         DecisionTrace::PermissionsFrozen
     ));
     kernel.sys_ptrace_detach(app, child).unwrap();
-    assert!(kernel.decide_direct(child, at, ResourceOp::Cam).verdict.is_grant());
+    assert!(kernel
+        .decide_direct(child, at, ResourceOp::Cam)
+        .verdict
+        .is_grant());
 }
 
 // ------------------------------------------------------------------
