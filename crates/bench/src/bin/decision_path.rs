@@ -122,10 +122,11 @@ fn bench_traced(f: &mut Fixture, iters: u64, force_miss: bool) -> Duration {
     start.elapsed()
 }
 
-/// The cached decide path with an enabled span tracer: every query
-/// records a `kernel.decide` span. The buffer is cleared per round so the
-/// measurement stays in the recording regime rather than the cheaper
-/// span-limit drop path.
+/// The cached decide path with an enabled span tracer: queries are
+/// head-sampled 1-in-N into `kernel.decide` spans (the sampling is
+/// cache-temperature-blind so restored runs trace identically). The
+/// buffer is cleared per round so the recorded samples stay in the
+/// recording regime rather than the cheaper span-limit drop path.
 fn bench_hit_with_tracing(f: &mut Fixture, iters: u64) -> Duration {
     f.kernel.tracer().clear();
     bench_traced(f, iters, false)

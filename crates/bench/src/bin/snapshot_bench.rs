@@ -1,0 +1,211 @@
+//! Snapshot microbenchmark: what checkpoint, restore, and replay cost on
+//! a populated machine.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin snapshot_bench [-- --quick]
+//! ```
+//!
+//! Rows:
+//!
+//! - `state_hash`  — one canonical hash of the machine (serialize the
+//!   state section + FNV-1a), the per-step cost of divergence checking.
+//! - `checkpoint`  — a full [`System::snapshot`] (state + aux sections).
+//! - `restore`     — [`System::from_snapshot`]: decode everything and
+//!   rebuild the derived caches cold.
+//! - `serialize`   — [`Snapshot::to_bytes`] container framing.
+//! - `parse`       — [`Snapshot::from_bytes`] (validation included).
+//!
+//! Plus a replay row: re-running the recorded event log from boot,
+//! reported as events/second.
+//!
+//! `--quick` runs a reduced iteration count and asserts the subsystem's
+//! correctness contract instead of a timing bound (host-load-proof):
+//! the restored machine and the replayed machine must both land on the
+//! recorded `state_hash()`. CI runs this mode.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use overhaul_core::{replay, Event, EventLog, OverhaulConfig, Recorder, System};
+use overhaul_sim::snapshot::Snapshot;
+use overhaul_sim::{SimDuration, SimRng};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, Request};
+
+/// GUI apps on the benchmark machine.
+const APPS: usize = 8;
+
+/// Records a deterministic mixed workload (clicks, device opens,
+/// clipboard traffic, idle gaps) and returns the populated machine with
+/// its sealed event log.
+fn build_recording(steps: usize) -> (System, EventLog) {
+    let mut rec = Recorder::new(OverhaulConfig::protected());
+    let mut rng = SimRng::seeded(0x5eed);
+    let apps = (0..APPS)
+        .map(|i| {
+            rec.apply(Event::LaunchGuiApp {
+                exe: format!("/usr/bin/app{i}"),
+                rect: Rect::new(i as i32 * 120, 0, 110, 110),
+            })
+            .gui()
+            .expect("launch")
+        })
+        .collect::<Vec<_>>();
+    rec.apply(Event::Settle);
+    for _ in 0..steps {
+        let app = apps[rng.range(0, APPS as u64) as usize];
+        match rng.range(0, 4) {
+            0 => {
+                let _ = rec.apply(Event::XRequest {
+                    client: app.client,
+                    request: Request::RaiseWindow { window: app.window },
+                });
+                rec.apply(Event::Settle);
+                rec.apply(Event::ClickWindow { window: app.window });
+                if let Ok(fd) = rec
+                    .apply(Event::OpenDevice {
+                        pid: app.pid,
+                        path: "/dev/snd/mic0".into(),
+                    })
+                    .fd()
+                {
+                    rec.apply(Event::SysClose { pid: app.pid, fd });
+                }
+            }
+            1 => {
+                rec.apply(Event::ClickWindow { window: app.window });
+                let _ = rec.apply(Event::XRequest {
+                    client: app.client,
+                    request: Request::SetSelectionOwner {
+                        selection: Atom::clipboard(),
+                        window: app.window,
+                    },
+                });
+            }
+            2 => {
+                let _ = rec.apply(Event::OpenDevice {
+                    pid: app.pid,
+                    path: "/dev/video0".into(),
+                });
+            }
+            _ => {
+                rec.apply(Event::Advance(SimDuration::from_millis(
+                    rng.range(50, 4_000),
+                )));
+            }
+        }
+    }
+    let (system, log) = rec.finish();
+    (system, log)
+}
+
+/// Best per-op time (nanoseconds) over `rounds` runs of `run`.
+fn best_per_op(iters: u64, rounds: u32, mut run: impl FnMut(u64) -> Duration) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        best = best.min(run(iters).as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, iters, replays) = if quick {
+        (300, 50, 3)
+    } else {
+        (1_200, 400, 20)
+    };
+    let mode = if quick { "quick" } else { "full" };
+
+    let (mut system, log) = build_recording(steps);
+    let recorded_hash = system.state_hash();
+    let snap = system.snapshot();
+    println!(
+        "snapshot microbenchmark ({mode}, best of 3, {APPS} apps, {} events)\n",
+        log.events.len()
+    );
+    println!(
+        "snapshot size: {} bytes state + {} bytes aux = {} total",
+        snap.state().len(),
+        snap.aux().len(),
+        snap.total_bytes()
+    );
+
+    let hash = best_per_op(iters, 3, |n| {
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(system.state_hash());
+        }
+        start.elapsed()
+    });
+    let checkpoint = best_per_op(iters, 3, |n| {
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(system.snapshot());
+        }
+        start.elapsed()
+    });
+    let restore = best_per_op(iters, 3, |n| {
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(System::from_snapshot(&snap).expect("restore"));
+        }
+        start.elapsed()
+    });
+    let serialize = best_per_op(iters, 3, |n| {
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(snap.to_bytes());
+        }
+        start.elapsed()
+    });
+    let bytes = snap.to_bytes();
+    let parse = best_per_op(iters, 3, |n| {
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(Snapshot::from_bytes(&bytes).expect("parse"));
+        }
+        start.elapsed()
+    });
+
+    println!("\n{:>12} {:>14}", "op", "per-op");
+    for (label, ns) in [
+        ("state_hash", hash),
+        ("checkpoint", checkpoint),
+        ("restore", restore),
+        ("serialize", serialize),
+        ("parse", parse),
+    ] {
+        println!("{:>12} {:>12.1}us", label, ns / 1_000.0);
+    }
+
+    let mut replay_best = f64::INFINITY;
+    let mut replayed_hash = 0;
+    for _ in 0..replays {
+        let start = Instant::now();
+        let machine = replay(&log).expect("replay boots");
+        let secs = start.elapsed().as_secs_f64();
+        replay_best = replay_best.min(secs);
+        replayed_hash = machine.state_hash();
+    }
+    println!(
+        "\nreplay from boot: {} events in {:.1}ms ({:.0} events/s)",
+        log.events.len(),
+        replay_best * 1_000.0,
+        log.events.len() as f64 / replay_best
+    );
+
+    if quick {
+        let restored_hash = System::from_snapshot(&snap).expect("restore").state_hash();
+        assert_eq!(
+            restored_hash, recorded_hash,
+            "regression: restore did not reproduce the recorded state hash"
+        );
+        assert_eq!(
+            replayed_hash, recorded_hash,
+            "regression: replay did not reproduce the recorded state hash"
+        );
+        println!("OK: restore reproduces the recorded state hash");
+        println!("OK: replay reproduces the recorded state hash");
+    }
+}

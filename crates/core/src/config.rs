@@ -158,6 +158,24 @@ impl OverhaulConfig {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the machine configuration.
+
+    use overhaul_sim::impl_pack;
+
+    use super::{DeviceSpec, OverhaulConfig};
+
+    impl_pack!(DeviceSpec { class, label, path });
+    impl_pack!(OverhaulConfig {
+        kernel,
+        x,
+        devices,
+        integrated_dm,
+        fault,
+        tracing
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

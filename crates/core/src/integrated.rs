@@ -8,7 +8,7 @@
 //! applied to that case in a straightforward manner."
 //!
 //! [`DirectMonitorLink`] is that application: the same generic
-//! [`MonitorClient`](crate::link::MonitorClient) as the netlink wiring,
+//! [`crate::link::MonitorClient`] as the netlink wiring,
 //! instantiated over [`DirectTransport`] — the display manager calls the
 //! policy engine in-process, no netlink, no peer authentication, no
 //! context-switch cost. The security semantics are identical (verified by

@@ -46,6 +46,7 @@
 pub mod config;
 pub mod integrated;
 pub mod link;
+pub mod replay;
 pub mod system;
 pub mod timeline;
 pub mod user;
@@ -53,5 +54,6 @@ pub mod user;
 pub use config::{DeviceSpec, OverhaulConfig};
 pub use integrated::DirectMonitorLink;
 pub use link::NetlinkMonitorLink;
+pub use replay::{apply_event, replay, replay_from, ApplyOutcome, Event, EventLog, Recorder};
 pub use system::{BootError, Gui, System};
 pub use user::{AttentionProfile, NoticeOutcome, SimulatedUser};

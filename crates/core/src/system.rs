@@ -12,6 +12,7 @@ use overhaul_kernel::error::{Errno, SysResult};
 use overhaul_kernel::netlink::{ChannelState, ConnId, KernelPush, NetlinkError};
 use overhaul_kernel::syscall::OpenMode;
 use overhaul_kernel::{Kernel, XORG_PATH};
+use overhaul_sim::snapshot::{fnv1a64, Dec, Enc, Pack, Snapshot, SnapshotError};
 use overhaul_sim::{
     AuditCategory, AuditLog, Clock, FaultPlan, Fd, Pid, SimDuration, Timestamp, Tracer,
 };
@@ -593,6 +594,121 @@ impl System {
     pub fn alert_history(&self) -> &[Alert] {
         self.x.alerts().history()
     }
+
+    // ---------------------------------------------------------------
+    // Checkpoint / restore
+    // ---------------------------------------------------------------
+
+    /// Serializes the machine's primary state (the hashed section of a
+    /// snapshot): virtual time, configuration, display-manager identity,
+    /// the fault-plan schedule and RNG position, and the full kernel and
+    /// X-server state. Derived caches are excluded — restore rebuilds them.
+    fn export_state(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.clock.now().pack(&mut enc);
+        self.config.pack(&mut enc);
+        self.x_pid.pack(&mut enc);
+        self.x_conn.pack(&mut enc);
+        match &self.fault {
+            None => false.pack(&mut enc),
+            Some(plan) => {
+                true.pack(&mut enc);
+                plan.export(&mut enc);
+            }
+        }
+        self.kernel.export_snapshot(&mut enc);
+        self.x.export_snapshot(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Serializes the aux section: observability state that restores
+    /// verbatim but is deliberately excluded from [`System::state_hash`]
+    /// (the tracer's span buffer and the kernel metrics registry).
+    fn export_aux(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.tracer.export(&mut enc);
+        self.kernel.export_metrics_snapshot(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Canonical hash of the machine's primary state: FNV-1a over the
+    /// serialized state section. Two machines with equal hashes decide,
+    /// trace, and evolve identically from here on.
+    pub fn state_hash(&self) -> u64 {
+        fnv1a64(&self.export_state())
+    }
+
+    /// Checkpoints the machine into a versioned [`Snapshot`]. The exported
+    /// byte count is credited to the kernel's snapshot counters (aux state,
+    /// so taking a checkpoint never perturbs [`System::state_hash`]).
+    pub fn snapshot(&mut self) -> Snapshot {
+        let state = self.export_state();
+        let aux = self.export_aux();
+        self.kernel.note_snapshot_bytes(state.len() as u64);
+        Snapshot::new(state, aux)
+    }
+
+    /// Rebuilds a machine from a snapshot.
+    ///
+    /// Derived caches (the kernel's verdict cache, `explain_last`, and the
+    /// channel's duplicate-suppression sets) are rebuilt empty rather than
+    /// restored — a restore therefore doubles as a cache-coherence check:
+    /// any divergence a cold cache could cause shows up as a
+    /// [`System::state_hash`] or [`System::trace_dump`] mismatch in the
+    /// replay-determinism suite.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from a truncated or corrupt snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Result<System, SnapshotError> {
+        // Aux first: the shared tracer handle feeds the kernel and X
+        // imports so all three write into one restored span buffer.
+        let mut aux = Dec::new(snapshot.aux());
+        let tracer = Tracer::import(&mut aux)?;
+        let mut dec = Dec::new(snapshot.state());
+        let now = Timestamp::unpack(&mut dec)?;
+        let config = OverhaulConfig::unpack(&mut dec)?;
+        let x_pid = Pid::unpack(&mut dec)?;
+        let x_conn = Option::<ConnId>::unpack(&mut dec)?;
+        let fault = if bool::unpack(&mut dec)? {
+            Some(FaultPlan::import(&mut dec)?)
+        } else {
+            None
+        };
+        let clock = Clock::starting_at(now);
+        let mut kernel =
+            Kernel::import_snapshot(&mut dec, clock.clone(), tracer.clone(), fault.clone())?;
+        let x = XServer::import_snapshot(&mut dec, clock.clone(), tracer.clone())?;
+        dec.finish()?;
+        kernel.import_metrics_snapshot(&mut aux)?;
+        aux.finish()?;
+        Ok(System {
+            clock,
+            kernel,
+            x,
+            x_pid,
+            x_conn,
+            config,
+            fault,
+            tracer,
+        })
+    }
+
+    /// Restores this machine in place from a snapshot (rollback). The
+    /// instance-lifetime snapshot counters survive the restore and keep
+    /// accumulating.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from a truncated or corrupt snapshot; on
+    /// error the machine is left unchanged.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let prior = self.kernel.snapshot_stats();
+        let mut restored = System::from_snapshot(snapshot)?;
+        restored.kernel.absorb_snapshot_stats(prior);
+        *self = restored;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -922,5 +1038,54 @@ mod tests {
         assert_eq!(replayed, 0);
         assert!(system.x_alive());
         assert!(system.x_conn().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_to_identical_state() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        let _ = system.open_device(app.pid, "/dev/snd/mic0");
+        let hash = system.state_hash();
+        let snap = system.snapshot();
+        assert_eq!(snap.state_hash(), hash, "snapshot hashes the same state");
+
+        // Diverge, then roll back.
+        system.advance(SimDuration::from_secs(9));
+        system.click_window(app.window);
+        assert_ne!(system.state_hash(), hash);
+        system.restore(&snap).expect("restore");
+        assert_eq!(system.state_hash(), hash);
+
+        // Counters survive the in-place restore and record the rebuilds.
+        let stats = system.kernel().snapshot_stats();
+        assert_eq!(stats.snapshot_bytes, snap.state().len() as u64);
+        assert_eq!(stats.restore_rebuild_verdict_cache, 1);
+        assert!(stats.restore_rebuild_dup_suppress >= 1);
+    }
+
+    #[test]
+    fn from_snapshot_round_trips_through_bytes() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        let snap = system.snapshot();
+        let decoded =
+            overhaul_sim::snapshot::Snapshot::from_bytes(&snap.to_bytes()).expect("decode");
+        let restored = System::from_snapshot(&decoded).expect("restore");
+        assert_eq!(restored.state_hash(), system.state_hash());
+
+        // Both machines must evolve identically from here.
+        let mut a = system;
+        let mut b = restored;
+        a.advance(SimDuration::from_secs(3));
+        b.advance(SimDuration::from_secs(3));
+        a.click_window(app.window);
+        b.click_window(app.window);
+        assert_eq!(
+            a.open_device(app.pid, "/dev/snd/mic0"),
+            b.open_device(app.pid, "/dev/snd/mic0")
+        );
+        assert_eq!(a.state_hash(), b.state_hash());
     }
 }

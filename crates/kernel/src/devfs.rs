@@ -117,6 +117,21 @@ impl DeviceMap {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the device map (including quarantine state and
+    //! the policy-epoch generation counter).
+
+    use overhaul_sim::impl_pack;
+
+    use super::DeviceMap;
+
+    impl_pack!(DeviceMap {
+        by_path,
+        quarantined,
+        generation
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,44 @@ impl DeviceRegistry {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the device registry.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Device, DeviceClass, DeviceId, DeviceRegistry};
+
+    impl_pack_newtype!(DeviceId, u32);
+
+    impl Pack for DeviceClass {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                DeviceClass::Microphone => 0,
+                DeviceClass::Camera => 1,
+                DeviceClass::Sensor => 2,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => DeviceClass::Microphone,
+                1 => DeviceClass::Camera,
+                2 => DeviceClass::Sensor,
+                _ => return Err(SnapshotError::BadValue("device class")),
+            })
+        }
+    }
+
+    impl_pack!(Device {
+        id,
+        class,
+        label,
+        opens,
+        samples_served
+    });
+    impl_pack!(DeviceRegistry { devices, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

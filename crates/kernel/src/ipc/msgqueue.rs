@@ -183,6 +183,46 @@ impl MsgQueueTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for message queues and both addressing namespaces.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Message, MsgQueue, MsgQueueTable, MsgqId, QueueFamily};
+
+    impl_pack_newtype!(MsgqId, u64);
+
+    impl Pack for QueueFamily {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                QueueFamily::SysV => 0,
+                QueueFamily::Posix => 1,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => QueueFamily::SysV,
+                1 => QueueFamily::Posix,
+                _ => return Err(SnapshotError::BadValue("queue family")),
+            })
+        }
+    }
+
+    impl_pack!(Message { mtype, data });
+    impl_pack!(MsgQueue {
+        family,
+        messages,
+        embedded_ts
+    });
+    impl_pack!(MsgQueueTable {
+        queues,
+        sysv_keys,
+        posix_names,
+        next
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

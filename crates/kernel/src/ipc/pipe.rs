@@ -198,6 +198,24 @@ impl PipeTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for pipes, including buffered bytes, reference
+    //! counts, and the embedded propagation-timestamp slot.
+
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Pipe, PipeId, PipeTable};
+
+    impl_pack_newtype!(PipeId, u64);
+    impl_pack!(Pipe {
+        buffer,
+        readers,
+        writers,
+        embedded_ts
+    });
+    impl_pack!(PipeTable { pipes, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -186,6 +186,24 @@ impl PtyTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for pseudo-terminal pairs.
+
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{PtyId, PtyPair, PtyTable};
+
+    impl_pack_newtype!(PtyId, u64);
+    impl_pack!(PtyPair {
+        master_to_slave,
+        slave_to_master,
+        embedded_ts,
+        master_open,
+        slave_open
+    });
+    impl_pack!(PtyTable { ptys, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

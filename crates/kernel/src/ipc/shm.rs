@@ -240,6 +240,48 @@ impl ShmTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for shared-memory segments: contents, attachment
+    //! counts, and both addressing namespaces.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{ShmFamily, ShmId, ShmSegment, ShmTable};
+
+    impl_pack_newtype!(ShmId, u64);
+
+    impl Pack for ShmFamily {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                ShmFamily::SysV => 0,
+                ShmFamily::Posix => 1,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => ShmFamily::SysV,
+                1 => ShmFamily::Posix,
+                _ => return Err(SnapshotError::BadValue("shm family")),
+            })
+        }
+    }
+
+    impl_pack!(ShmSegment {
+        family,
+        pages,
+        data,
+        embedded_ts,
+        attach_count
+    });
+    impl_pack!(ShmTable {
+        segments,
+        sysv_keys,
+        posix_names,
+        next
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

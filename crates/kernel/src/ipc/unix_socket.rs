@@ -214,6 +214,43 @@ impl SocketTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for socket pairs, per-direction queues and
+    //! timestamp slots included.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Direction, SocketEnd, SocketId, SocketPair, SocketTable};
+
+    impl_pack_newtype!(SocketId, u64);
+
+    impl Pack for SocketEnd {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                SocketEnd::A => 0,
+                SocketEnd::B => 1,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => SocketEnd::A,
+                1 => SocketEnd::B,
+                _ => return Err(SnapshotError::BadValue("socket end")),
+            })
+        }
+    }
+
+    impl_pack!(Direction { queue, embedded_ts });
+    impl_pack!(SocketPair {
+        a_to_b,
+        b_to_a,
+        a_refs,
+        b_refs
+    });
+    impl_pack!(SocketTable { sockets, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

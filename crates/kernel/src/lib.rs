@@ -53,6 +53,7 @@ pub mod policy;
 pub mod process;
 pub mod procfs;
 pub mod ptrace;
+pub mod snapshot;
 pub mod syscall;
 pub mod task;
 pub mod vfs;
@@ -88,6 +89,7 @@ use crate::ptrace::PtracePolicy;
 use crate::vfs::{InodeKind, Vfs};
 
 pub use crate::error::SysResult as KernelResult;
+pub use crate::snapshot::SnapshotStats;
 pub use crate::syscall::OpenMode;
 
 /// Well-known path of the X server binary (netlink-trusted).
@@ -211,6 +213,10 @@ pub struct Kernel {
     /// [`mm::MmStats`], [`CacheStats`]) are mirrored into the procfs
     /// metrics page at render time, so the two can never drift.
     metrics: MetricsRegistry,
+    /// Checkpoint/restore counters (bytes exported, derived caches
+    /// rebuilt, replay divergences). Never serialized — they describe this
+    /// kernel instance's snapshot activity, not simulation state.
+    snapshot_stats: SnapshotStats,
 }
 
 impl Kernel {
@@ -251,6 +257,7 @@ impl Kernel {
             decide_serial: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
+            snapshot_stats: SnapshotStats::default(),
             vfs,
             clock,
             config,
@@ -1092,15 +1099,17 @@ impl Kernel {
         };
         self.apply_decision_effects(pid, at, op, &outcome);
         if self.tracer.is_enabled() {
-            // Cache misses are always recorded; cache hits — the hot path —
-            // are head-sampled 1-in-N so tracing stays within its overhead
-            // budget. The sample counter is plain kernel state, so the
-            // sampling is deterministic and same-seed traces stay
-            // byte-identical. Every decision still lands in the monitor and
-            // cache counters exactly; only the per-hit span is thinned.
+            // Decisions are head-sampled 1-in-N so tracing stays within its
+            // overhead budget. The sample counter is plain kernel state and
+            // the condition never reads the cache-hit bit, so the spans a
+            // run records are a pure function of the decision sequence:
+            // a restored run (whose verdict cache is rebuilt cold) traces
+            // byte-identically to the uninterrupted one. Every decision
+            // still lands in the monitor and cache counters exactly; only
+            // the per-decision span is thinned.
             self.decide_serial = self.decide_serial.wrapping_add(1);
-            if !cache_hit || self.decide_serial.is_multiple_of(Self::DECIDE_HIT_SAMPLE) {
-                self.record_decide_span(pid, op, at, cache_hit, &outcome);
+            if self.decide_serial % Self::DECIDE_HIT_SAMPLE == 1 {
+                self.record_decide_span(pid, op, at, &outcome);
             }
             if !cache_hit {
                 if let DecisionTrace::WithinThreshold { elapsed, .. }
@@ -1119,18 +1128,21 @@ impl Kernel {
         outcome
     }
 
-    /// Every how-many-th cache-hit decision gets a span (misses always do).
+    /// Every how-many-th decision gets a span (the first one always does,
+    /// since the serial is pre-incremented before the `% N == 1` check).
     const DECIDE_HIT_SAMPLE: u64 = 64;
 
     /// Records the `kernel.decide` leaf span — out of line so the sampled
-    /// fast path in [`Kernel::decide_traced`] stays small.
+    /// fast path in [`Kernel::decide_traced`] stays small. Deliberately
+    /// carries no cache-hit/miss field: the span stream must not depend on
+    /// verdict-cache temperature, or a snapshot restore (cold cache) would
+    /// diverge from the uninterrupted run it replays.
     #[inline(never)]
     fn record_decide_span(
         &self,
         pid: Pid,
         op: ResourceOp,
         at: Timestamp,
-        cache_hit: bool,
         outcome: &DecisionOutcome,
     ) {
         // One-lock leaf span: decisions are instantaneous in virtual
@@ -1142,10 +1154,6 @@ impl Kernel {
             &[
                 ("pid", TraceValue::U64(u64::from(pid.as_raw()))),
                 ("op", TraceValue::Static(op.as_str())),
-                (
-                    "cache",
-                    TraceValue::Static(if cache_hit { "hit" } else { "miss" }),
-                ),
                 (
                     "verdict",
                     TraceValue::Static(if outcome.decision.verdict.is_grant() {
@@ -1355,6 +1363,20 @@ impl Kernel {
         reg.set_gauge(
             "overhaul_trace_dropped_spans",
             self.tracer.dropped_spans() as i64,
+        );
+        let snap = self.snapshot_stats;
+        reg.set_counter("overhaul_snapshot_bytes_total", snap.snapshot_bytes);
+        reg.set_counter(
+            "overhaul_restore_rebuild_verdict_cache_total",
+            snap.restore_rebuild_verdict_cache,
+        );
+        reg.set_counter(
+            "overhaul_restore_rebuild_dup_suppress_total",
+            snap.restore_rebuild_dup_suppress,
+        );
+        reg.set_gauge(
+            "overhaul_replay_divergence_total",
+            snap.replay_divergence as i64,
         );
         reg.absorb(&self.metrics);
         reg.render()

@@ -320,6 +320,37 @@ impl MemoryManager {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the memory manager, including the wait list:
+    //! pending re-arm deadlines are real kernel state a replay must see.
+
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{MemoryManager, MmStats, Vma, VmaId, WaitEntry};
+
+    impl_pack_newtype!(VmaId, u64);
+    impl_pack!(Vma {
+        id,
+        pid,
+        shm,
+        perms_revoked
+    });
+    impl_pack!(WaitEntry { vma, expires });
+    impl_pack!(MmStats {
+        faults,
+        direct,
+        rearms
+    });
+    impl_pack!(MemoryManager {
+        vmas,
+        wait_list,
+        interpose,
+        wait_duration,
+        next,
+        stats
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

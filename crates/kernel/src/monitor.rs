@@ -337,6 +337,122 @@ impl PermissionMonitor {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the monitor (hashed state: stats and queued
+    //! alerts are part of the event-history-determined kernel state).
+
+    use overhaul_sim::impl_pack;
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+
+    use super::{
+        AlertRequest, Decision, DecisionReason, MonitorConfig, MonitorStats, PermissionMonitor,
+        ResourceOp, Verdict,
+    };
+
+    impl Pack for ResourceOp {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                ResourceOp::Mic => 0,
+                ResourceOp::Cam => 1,
+                ResourceOp::Sensor => 2,
+                ResourceOp::Screen => 3,
+                ResourceOp::Copy => 4,
+                ResourceOp::Paste => 5,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => ResourceOp::Mic,
+                1 => ResourceOp::Cam,
+                2 => ResourceOp::Sensor,
+                3 => ResourceOp::Screen,
+                4 => ResourceOp::Copy,
+                5 => ResourceOp::Paste,
+                _ => return Err(SnapshotError::BadValue("resource op")),
+            })
+        }
+    }
+
+    impl Pack for Verdict {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                Verdict::Grant => 0,
+                Verdict::Deny => 1,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => Verdict::Grant,
+                1 => Verdict::Deny,
+                _ => return Err(SnapshotError::BadValue("verdict")),
+            })
+        }
+    }
+
+    impl Pack for DecisionReason {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                DecisionReason::WithinThreshold { elapsed } => {
+                    enc.put_u8(0);
+                    elapsed.pack(enc);
+                }
+                DecisionReason::GrantAll => enc.put_u8(1),
+                DecisionReason::NoInteraction => enc.put_u8(2),
+                DecisionReason::Expired { elapsed } => {
+                    enc.put_u8(3);
+                    elapsed.pack(enc);
+                }
+                DecisionReason::PermissionsFrozen => enc.put_u8(4),
+                DecisionReason::ChannelDown => enc.put_u8(5),
+                DecisionReason::Quarantined => enc.put_u8(6),
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => DecisionReason::WithinThreshold {
+                    elapsed: Pack::unpack(dec)?,
+                },
+                1 => DecisionReason::GrantAll,
+                2 => DecisionReason::NoInteraction,
+                3 => DecisionReason::Expired {
+                    elapsed: Pack::unpack(dec)?,
+                },
+                4 => DecisionReason::PermissionsFrozen,
+                5 => DecisionReason::ChannelDown,
+                6 => DecisionReason::Quarantined,
+                _ => return Err(SnapshotError::BadValue("decision reason")),
+            })
+        }
+    }
+
+    impl_pack!(Decision { verdict, reason });
+    impl_pack!(AlertRequest {
+        pid,
+        process_name,
+        op,
+        granted,
+        at,
+        reason
+    });
+    impl_pack!(MonitorConfig { delta, grant_all });
+    impl_pack!(MonitorStats {
+        notifications,
+        grants,
+        denies,
+        channel_retries,
+        channel_drops,
+        channel_reconnects,
+        channel_dup_suppressed,
+        fail_closed_denies,
+        alerts_queued
+    });
+    impl_pack!(PermissionMonitor {
+        config,
+        stats,
+        pending_alerts
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

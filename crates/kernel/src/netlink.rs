@@ -159,10 +159,12 @@ struct Connection {
     is_display: bool,
     next_seq: u64,
     delivered: BTreeSet<u64>,
-    /// Contiguous-delivery floor: every sequence number `<= watermark` is
-    /// treated as already delivered. Eviction from the bounded `delivered`
-    /// record happens strictly in sequence order *below* this floor, so an
-    /// evicted sequence number can never be readmitted by a late duplicate.
+    /// Suppression floor: every sequence number `<= watermark` is treated
+    /// as already delivered. The floor trails the highest freshly delivered
+    /// seq by exactly [`DELIVERY_RECORD`], so it is a pure function of the
+    /// delivery history — the `delivered` set is a *derived* dup-suppression
+    /// record that snapshots rebuild empty without changing how the floor
+    /// evolves afterwards.
     watermark: u64,
 }
 
@@ -319,13 +321,14 @@ impl Netlink {
     /// Records that `seq` was delivered on `conn`. Returns `false` if it
     /// was already delivered (a duplicate to be suppressed).
     ///
-    /// The record is bounded: at most [`DELIVERY_RECORD`] out-of-order
-    /// sequence numbers are stored explicitly, and everything at or below a
-    /// contiguous-delivery watermark is remembered implicitly. Eviction
-    /// raises the watermark over the evicted (lowest) sequence number, so a
-    /// late duplicate of an evicted seq is still suppressed — the record
+    /// The record is bounded: sequence numbers more than
+    /// `DELIVERY_RECORD` behind the highest freshly delivered seq fall
+    /// under the watermark floor and are suppressed implicitly, so a late
+    /// duplicate of a long-forgotten seq is still suppressed — the record
     /// can only ever forget *towards* "already delivered", never towards
-    /// re-admitting a duplicate.
+    /// re-admitting a duplicate. The floor is a pure function of
+    /// `(seq, watermark)`, never of the set contents, so restoring a
+    /// snapshot (which rebuilds the set empty) cannot change how it evolves.
     ///
     /// # Errors
     ///
@@ -340,16 +343,10 @@ impl Netlink {
         }
         let fresh = c.delivered.insert(seq);
         if fresh {
-            // Fold the contiguous prefix into the watermark...
-            while c.delivered.remove(&(c.watermark + 1)) {
-                c.watermark += 1;
-            }
-            // ...then evict strictly in sequence order, keeping the floor
-            // over everything evicted.
-            while c.delivered.len() > DELIVERY_RECORD {
-                if let Some(lowest) = c.delivered.pop_first() {
-                    c.watermark = lowest;
-                }
+            let floor = seq.saturating_sub(DELIVERY_RECORD as u64);
+            if floor > c.watermark {
+                c.watermark = floor;
+                c.delivered = c.delivered.split_off(&(c.watermark + 1));
             }
         }
         Ok(fresh)
@@ -428,6 +425,114 @@ impl Netlink {
     pub fn connection_count(&self) -> usize {
         self.connections.len()
     }
+}
+
+mod pack {
+    //! Snapshot codec for the channel registry.
+    //!
+    //! Per-connection `delivered` sets are derived dup-suppression records:
+    //! they are *not* serialized and restore rebuilds them empty. The
+    //! watermark floor is serialized, and because its evolution never reads
+    //! the set contents, a restored registry suppresses and admits exactly
+    //! the same sequence numbers as the uninterrupted one.
+
+    use std::collections::BTreeSet;
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{ChannelState, ConnId, Connection, Netlink, NetlinkMessage};
+
+    impl_pack_newtype!(ConnId, u32);
+
+    impl Pack for ChannelState {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                ChannelState::Up => 0,
+                ChannelState::Degraded => 1,
+                ChannelState::Down => 2,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => ChannelState::Up,
+                1 => ChannelState::Degraded,
+                2 => ChannelState::Down,
+                _ => return Err(SnapshotError::BadValue("channel state")),
+            })
+        }
+    }
+
+    impl Pack for NetlinkMessage {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                NetlinkMessage::InteractionNotification { pid, at } => {
+                    enc.put_u8(0);
+                    pid.pack(enc);
+                    at.pack(enc);
+                }
+                NetlinkMessage::PermissionQuery { pid, op, at } => {
+                    enc.put_u8(1);
+                    pid.pack(enc);
+                    op.pack(enc);
+                    at.pack(enc);
+                }
+                NetlinkMessage::DeviceMapUpdate { old_path, new_path } => {
+                    enc.put_u8(2);
+                    old_path.pack(enc);
+                    new_path.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => NetlinkMessage::InteractionNotification {
+                    pid: Pack::unpack(dec)?,
+                    at: Pack::unpack(dec)?,
+                },
+                1 => NetlinkMessage::PermissionQuery {
+                    pid: Pack::unpack(dec)?,
+                    op: Pack::unpack(dec)?,
+                    at: Pack::unpack(dec)?,
+                },
+                2 => NetlinkMessage::DeviceMapUpdate {
+                    old_path: Pack::unpack(dec)?,
+                    new_path: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("netlink message")),
+            })
+        }
+    }
+
+    impl Pack for Connection {
+        fn pack(&self, enc: &mut Enc) {
+            self.pid.pack(enc);
+            self.is_display.pack(enc);
+            self.next_seq.pack(enc);
+            self.watermark.pack(enc);
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(Connection {
+                pid: Pack::unpack(dec)?,
+                is_display: Pack::unpack(dec)?,
+                next_seq: Pack::unpack(dec)?,
+                // Derived dup-suppression record: rebuilt empty on restore.
+                delivered: BTreeSet::new(),
+                watermark: Pack::unpack(dec)?,
+            })
+        }
+    }
+
+    impl_pack!(Netlink {
+        connections,
+        next,
+        trusted_exe_paths,
+        display_conn,
+        display_state,
+        state_generation,
+        had_display,
+        display_reconnects
+    });
 }
 
 #[cfg(test)]

@@ -776,6 +776,68 @@ fn quarantined_detail(op: ResourceOp) -> &'static str {
     }
 }
 
+mod pack {
+    //! Snapshot codec for credit chains. Verdict-cache entries and last
+    //! decisions are *derived* state — rebuilt after restore, never
+    //! serialized — so only the provenance types get codecs.
+
+    use overhaul_sim::impl_pack;
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+
+    use super::{CreditChain, CreditHop, IpcMechanism};
+
+    impl Pack for IpcMechanism {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                IpcMechanism::Pipe => 0,
+                IpcMechanism::UnixSocket => 1,
+                IpcMechanism::PosixMq => 2,
+                IpcMechanism::SysvMsgq => 3,
+                IpcMechanism::Shm => 4,
+                IpcMechanism::Pty => 5,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => IpcMechanism::Pipe,
+                1 => IpcMechanism::UnixSocket,
+                2 => IpcMechanism::PosixMq,
+                3 => IpcMechanism::SysvMsgq,
+                4 => IpcMechanism::Shm,
+                5 => IpcMechanism::Pty,
+                _ => return Err(SnapshotError::BadValue("ipc mechanism")),
+            })
+        }
+    }
+
+    impl Pack for CreditHop {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                CreditHop::Direct => enc.put_u8(0),
+                CreditHop::Fork => enc.put_u8(1),
+                CreditHop::Ipc(mechanism) => {
+                    enc.put_u8(2);
+                    mechanism.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => CreditHop::Direct,
+                1 => CreditHop::Fork,
+                2 => CreditHop::Ipc(Pack::unpack(dec)?),
+                _ => return Err(SnapshotError::BadValue("credit hop")),
+            })
+        }
+    }
+
+    impl_pack!(CreditChain {
+        len,
+        saturated,
+        hops
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,16 @@ impl ProcessTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the process table.
+
+    use overhaul_sim::impl_pack;
+
+    use super::ProcessTable;
+
+    impl_pack!(ProcessTable { tasks, next_pid });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,16 @@ impl PtracePolicy {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the ptrace policy.
+
+    use overhaul_sim::impl_pack;
+
+    use super::PtracePolicy;
+
+    impl_pack!(PtracePolicy { hardening_enabled });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

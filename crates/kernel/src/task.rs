@@ -362,6 +362,123 @@ impl Task {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the simulated `task_struct` and its fd table.
+
+    use overhaul_sim::impl_pack;
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+
+    use super::{FileDescription, Task, TaskState};
+
+    impl Pack for TaskState {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                TaskState::Running => enc.put_u8(0),
+                TaskState::Zombie { code } => {
+                    enc.put_u8(1);
+                    code.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => TaskState::Running,
+                1 => TaskState::Zombie {
+                    code: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("task state")),
+            })
+        }
+    }
+
+    impl Pack for FileDescription {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                FileDescription::Regular { inode } => {
+                    enc.put_u8(0);
+                    inode.pack(enc);
+                }
+                FileDescription::Device { device } => {
+                    enc.put_u8(1);
+                    device.pack(enc);
+                }
+                FileDescription::PipeRead { pipe } => {
+                    enc.put_u8(2);
+                    pipe.pack(enc);
+                }
+                FileDescription::PipeWrite { pipe } => {
+                    enc.put_u8(3);
+                    pipe.pack(enc);
+                }
+                FileDescription::Socket { socket, end } => {
+                    enc.put_u8(4);
+                    socket.pack(enc);
+                    end.pack(enc);
+                }
+                FileDescription::MessageQueue { queue } => {
+                    enc.put_u8(5);
+                    queue.pack(enc);
+                }
+                FileDescription::PtyMaster { pty } => {
+                    enc.put_u8(6);
+                    pty.pack(enc);
+                }
+                FileDescription::PtySlave { pty } => {
+                    enc.put_u8(7);
+                    pty.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => FileDescription::Regular {
+                    inode: Pack::unpack(dec)?,
+                },
+                1 => FileDescription::Device {
+                    device: Pack::unpack(dec)?,
+                },
+                2 => FileDescription::PipeRead {
+                    pipe: Pack::unpack(dec)?,
+                },
+                3 => FileDescription::PipeWrite {
+                    pipe: Pack::unpack(dec)?,
+                },
+                4 => FileDescription::Socket {
+                    socket: Pack::unpack(dec)?,
+                    end: Pack::unpack(dec)?,
+                },
+                5 => FileDescription::MessageQueue {
+                    queue: Pack::unpack(dec)?,
+                },
+                6 => FileDescription::PtyMaster {
+                    pty: Pack::unpack(dec)?,
+                },
+                7 => FileDescription::PtySlave {
+                    pty: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("file description")),
+            })
+        }
+    }
+
+    impl_pack!(Task {
+        pid,
+        ppid,
+        uid,
+        exe_path,
+        name,
+        state,
+        interaction,
+        interaction_epoch,
+        credit,
+        permissions_frozen,
+        traced_by,
+        fds,
+        next_fd,
+        children
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

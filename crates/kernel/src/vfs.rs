@@ -429,6 +429,65 @@ impl Vfs {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the filesystem tree.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Inode, InodeId, InodeKind, Vfs};
+
+    impl_pack_newtype!(InodeId, u64);
+
+    impl Pack for InodeKind {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                InodeKind::Directory { entries } => {
+                    enc.put_u8(0);
+                    entries.pack(enc);
+                }
+                InodeKind::Regular { data } => {
+                    enc.put_u8(1);
+                    data.pack(enc);
+                }
+                InodeKind::DeviceNode { device } => {
+                    enc.put_u8(2);
+                    device.pack(enc);
+                }
+                InodeKind::Fifo { pipe } => {
+                    enc.put_u8(3);
+                    pipe.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => InodeKind::Directory {
+                    entries: Pack::unpack(dec)?,
+                },
+                1 => InodeKind::Regular {
+                    data: Pack::unpack(dec)?,
+                },
+                2 => InodeKind::DeviceNode {
+                    device: Pack::unpack(dec)?,
+                },
+                3 => InodeKind::Fifo {
+                    pipe: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("inode kind")),
+            })
+        }
+    }
+
+    impl_pack!(Inode {
+        id,
+        kind,
+        owner,
+        mode
+    });
+    impl_pack!(Vfs { inodes, root, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

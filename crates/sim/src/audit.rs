@@ -187,6 +187,72 @@ impl AuditLog {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the audit log (part of the hashed state section:
+    //! the log is a pure function of the event history, so replay must
+    //! reproduce it byte-for-byte).
+
+    use std::borrow::Cow;
+
+    use super::{AuditCategory, AuditEvent, AuditLog};
+    use crate::impl_pack;
+    use crate::snapshot::{Dec, Enc, Pack, SnapshotError};
+
+    impl Pack for AuditCategory {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                AuditCategory::InteractionNotification => 0,
+                AuditCategory::PermissionGranted => 1,
+                AuditCategory::PermissionDenied => 2,
+                AuditCategory::SyntheticInputFiltered => 3,
+                AuditCategory::ClickjackingSuppressed => 4,
+                AuditCategory::AlertDisplayed => 5,
+                AuditCategory::InteractionPropagated => 6,
+                AuditCategory::ProtocolAttackBlocked => 7,
+                AuditCategory::PtraceHardening => 8,
+                AuditCategory::ChannelEvent => 9,
+                AuditCategory::Info => 10,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => AuditCategory::InteractionNotification,
+                1 => AuditCategory::PermissionGranted,
+                2 => AuditCategory::PermissionDenied,
+                3 => AuditCategory::SyntheticInputFiltered,
+                4 => AuditCategory::ClickjackingSuppressed,
+                5 => AuditCategory::AlertDisplayed,
+                6 => AuditCategory::InteractionPropagated,
+                7 => AuditCategory::ProtocolAttackBlocked,
+                8 => AuditCategory::PtraceHardening,
+                9 => AuditCategory::ChannelEvent,
+                10 => AuditCategory::Info,
+                _ => return Err(SnapshotError::BadValue("audit category")),
+            })
+        }
+    }
+
+    /// `Cow` details encode by content; restore owns the string. Equality
+    /// and rendering only see the content, so this is transparent.
+    impl Pack for Cow<'static, str> {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u64(self.len() as u64);
+            enc.put_slice(self.as_bytes());
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(Cow::Owned(String::unpack(dec)?))
+        }
+    }
+
+    impl_pack!(AuditEvent {
+        at,
+        category,
+        pid,
+        detail
+    });
+    impl_pack!(AuditLog { events });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,9 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+use crate::impl_pack;
 use crate::rng::SimRng;
+use crate::snapshot::{Dec, Enc, Pack, SnapshotError};
 use crate::time::{SimDuration, Timestamp};
 
 /// The fate of one channel message, drawn from a [`FaultPlan`].
@@ -273,7 +275,65 @@ impl FaultPlan {
     pub fn stats(&self) -> FaultStats {
         self.lock().stats
     }
+
+    /// Serializes the plan's complete state — spec, RNG stream position,
+    /// remaining crash schedule, stats, armed flag — for a checkpoint. Part
+    /// of the hashed state section: every field determines future faults or
+    /// is a pure function of the event history.
+    pub fn export(&self, enc: &mut Enc) {
+        let inner = self.lock();
+        inner.spec.pack(enc);
+        inner.rng.pack(enc);
+        inner.crashes.pack(enc);
+        inner.stats.pack(enc);
+        inner.armed.pack(enc);
+    }
+
+    /// Rebuilds a plan from [`FaultPlan::export`] state. The restored plan
+    /// continues the exact fault stream of the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] raised by malformed input.
+    pub fn import(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let spec = FaultSpec::unpack(dec)?;
+        let rng = SimRng::unpack(dec)?;
+        let crashes = VecDeque::<Timestamp>::unpack(dec)?;
+        let stats = FaultStats::unpack(dec)?;
+        let armed = bool::unpack(dec)?;
+        Ok(FaultPlan {
+            inner: Arc::new(Mutex::new(Inner {
+                spec,
+                rng,
+                crashes,
+                stats,
+                armed,
+            })),
+        })
+    }
 }
+
+impl_pack!(FaultSpec {
+    seed,
+    drop_p,
+    delay_p,
+    duplicate_p,
+    reorder_p,
+    delay_min,
+    delay_max,
+    vfs_stat_fail_p,
+    x_crash_at
+});
+
+impl_pack!(FaultStats {
+    drawn,
+    drops,
+    delays,
+    duplicates,
+    reorders,
+    vfs_stat_failures,
+    crashes_fired
+});
 
 #[cfg(test)]
 mod tests {
@@ -378,6 +438,37 @@ mod tests {
         assert_eq!(a.stats().drawn, 8);
         assert_eq!(b.stats().drawn, 8, "clone sees the same counters");
         let _ = draws_a;
+    }
+
+    #[test]
+    fn export_import_continues_the_fault_stream() {
+        let spec = FaultSpec::quiet(42)
+            .with_drop_p(0.3)
+            .with_delay_p(0.3)
+            .with_duplicate_p(0.1)
+            .with_x_crashes(vec![Timestamp::from_millis(900)]);
+        let original = FaultPlan::new(spec.clone());
+        let uninterrupted = FaultPlan::new(spec);
+        for _ in 0..100 {
+            assert_eq!(
+                original.next_channel_fault(),
+                uninterrupted.next_channel_fault()
+            );
+        }
+        let mut enc = Enc::new();
+        original.export(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let restored = FaultPlan::import(&mut dec).expect("import");
+        dec.finish().expect("fully consumed");
+        assert_eq!(restored.stats(), uninterrupted.stats());
+        assert_eq!(restored.next_crash_at(), Some(Timestamp::from_millis(900)));
+        for _ in 0..100 {
+            assert_eq!(
+                restored.next_channel_fault(),
+                uninterrupted.next_channel_fault()
+            );
+        }
     }
 
     #[test]

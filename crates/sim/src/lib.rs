@@ -21,6 +21,9 @@
 //!   (decisions, channel exchanges, page faults, IPC propagation hops,
 //!   input authentication) reports here, and the same seed produces a
 //!   byte-identical trace dump.
+//! * [`snapshot`] — the versioned binary checkpoint codec ([`Pack`],
+//!   [`Snapshot`]) and the canonical FNV-1a [`snapshot::fnv1a64`] state
+//!   hash behind `System::snapshot` / `System::restore` and record/replay.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod audit;
 pub mod fault;
 pub mod ids;
 pub mod rng;
+pub mod snapshot;
 pub mod time;
 pub mod trace;
 pub mod work;
@@ -48,5 +52,6 @@ pub use audit::{AuditCategory, AuditEvent, AuditLog};
 pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};
 pub use rng::SimRng;
+pub use snapshot::{Dec, Enc, Pack, Snapshot, SnapshotError};
 pub use time::{Clock, SimDuration, Timestamp};
 pub use trace::{MetricsRegistry, SpanId, SpanKind, SpanNode, Tracer, Value as TraceValue};

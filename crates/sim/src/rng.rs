@@ -3,13 +3,29 @@
 //! Experiment harnesses (the 21-day empirical run, the usability study, the
 //! δ-threshold ablations) need randomness — interaction timing jitter, which
 //! app the simulated user touches next — but must stay replayable. `SimRng`
-//! wraps a fixed-algorithm, seedable generator so a seed fully determines an
+//! is a fixed-algorithm, seedable generator, so a seed fully determines an
 //! experiment.
+//!
+//! The generator is a counter-mode SplitMix64: draw *n* of seed *s* is
+//! `mix(mix(s) + n·γ)`. Counter mode makes the stream *position* (`seed`,
+//! `pos`) the generator's entire state, so the checkpoint/restore subsystem
+//! can capture it in O(1) — a restored generator continues the exact
+//! sequence of the uninterrupted run (pinned by a unit test below). The
+//! algorithm matches `rand::rngs::StdRng::seed_from_u64` as shipped in this
+//! workspace, so pre-snapshot seeds keep producing the same streams.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::impl_pack;
 use crate::time::SimDuration;
+
+/// SplitMix64 increment (the golden-ratio gamma).
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A seedable deterministic random source.
 ///
@@ -20,17 +36,40 @@ use crate::time::SimDuration;
 /// let mut b = SimRng::seeded(7);
 /// assert_eq!(a.range(0, 100), b.range(0, 100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: StdRng,
+    seed: u64,
+    pos: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { seed, pos: 0 }
+    }
+
+    /// Recreates a generator at an exact stream position, as returned by
+    /// [`SimRng::seed`] and [`SimRng::pos`]. The next draw equals draw
+    /// `pos + 1` of an uninterrupted generator with the same seed.
+    pub fn from_state(seed: u64, pos: u64) -> Self {
+        SimRng { seed, pos }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many raw 64-bit draws have been taken so far. Together with
+    /// [`SimRng::seed`] this is the generator's entire state.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.pos = self.pos.wrapping_add(1);
+        mix(mix(self.seed).wrapping_add(self.pos.wrapping_mul(GAMMA)))
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -40,7 +79,8 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u128;
+        lo + (u128::from(self.next_u64()) % span) as u64
     }
 
     /// A uniform duration in `[lo, hi)`.
@@ -54,12 +94,12 @@ impl SimRng {
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Picks a uniformly random element of `items`, or `None` if empty.
@@ -73,9 +113,12 @@ impl SimRng {
     }
 }
 
+impl_pack!(SimRng { seed, pos });
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{Dec, Enc, Pack};
 
     #[test]
     fn same_seed_same_stream() {
@@ -133,5 +176,51 @@ mod tests {
             let d = rng.duration_between(lo, hi);
             assert!(d >= lo && d < hi);
         }
+    }
+
+    #[test]
+    fn stream_matches_std_rng() {
+        // SimRng must keep producing the exact stream of the StdRng-backed
+        // implementation it replaced, or old seeds change meaning.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut reference = StdRng::seed_from_u64(seed);
+            let mut ours = SimRng::seeded(seed);
+            for _ in 0..64 {
+                assert_eq!(ours.range(0, 1 << 40), reference.gen_range(0..1u64 << 40));
+                assert_eq!(ours.unit(), reference.gen::<f64>());
+            }
+        }
+    }
+
+    #[test]
+    fn restored_position_continues_the_uninterrupted_stream() {
+        // The checkpoint contract: restore → next_u64 equals the draw an
+        // uninterrupted generator would have produced.
+        let mut uninterrupted = SimRng::seeded(77);
+        let mut original = SimRng::seeded(77);
+        for _ in 0..10 {
+            uninterrupted.next_u64();
+            original.next_u64();
+        }
+        let mut restored = SimRng::from_state(original.seed(), original.pos());
+        assert_eq!(restored.pos(), 10);
+        for _ in 0..32 {
+            assert_eq!(restored.next_u64(), uninterrupted.next_u64());
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_position() {
+        let mut rng = SimRng::seeded(5);
+        rng.next_u64();
+        rng.next_u64();
+        let mut enc = Enc::new();
+        rng.pack(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = SimRng::unpack(&mut Dec::new(&bytes)).expect("unpack");
+        assert_eq!(restored, rng);
+        assert_eq!(restored.next_u64(), rng.next_u64());
     }
 }

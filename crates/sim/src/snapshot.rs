@@ -1,0 +1,889 @@
+//! Versioned binary checkpoint format and canonical state hashing.
+//!
+//! The checkpoint/restore subsystem (`System::snapshot` / `System::restore`
+//! in `overhaul-core`) needs a serialization format that is *byte-stable*:
+//! the same simulation state must always encode to the same bytes, because
+//! the canonical [`Snapshot::state_hash`] — the value record/replay uses to
+//! detect divergence — is a hash of the encoded state section. This module
+//! provides that format:
+//!
+//! * [`Enc`] / [`Dec`] — a little-endian binary writer/reader pair with
+//!   explicit error reporting ([`SnapshotError`]), no self-description and
+//!   no framing overhead beyond length prefixes.
+//! * [`Pack`] — the codec trait. Implementations exist for primitives,
+//!   strings, `Option`/`Vec`/`VecDeque`/`BTreeMap`/`BTreeSet`, fixed-size
+//!   arrays, and tuples. `HashMap`s are encoded *sorted by key* so the
+//!   encoding never depends on hasher iteration order.
+//! * `impl_pack!` / `impl_pack_newtype!` — macros deriving field-wise
+//!   `Pack` for structs; invoked inside the defining module so private
+//!   fields stay private.
+//! * [`Snapshot`] — the versioned container: a magic tag, a format version,
+//!   a *state* section (hashed; everything replay must reproduce) and an
+//!   *aux* section (serialized but unhashed; observability state such as the
+//!   trace buffer and the metrics registry).
+//! * [`fnv1a64`] — the canonical hash (FNV-1a, 64-bit), chosen because it is
+//!   trivially stable across platforms and dependency-free.
+//! * [`intern`] — re-leaks strings restored from a snapshot into
+//!   `&'static str`, for trace span names whose live form is static.
+//!
+//! Derived caches (the kernel's verdict cache, netlink dup-suppression
+//! sets) are deliberately *not* representable here: restore rebuilds them,
+//! so a restore is also a coherence check of every cache rebuild path.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+use crate::ids::{Fd, Pid, Uid};
+use crate::time::{SimDuration, Timestamp};
+
+/// Magic tag opening every serialized snapshot (`OVSN`).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"OVSN";
+
+/// Current snapshot format version. Bumped on any encoding change;
+/// [`Snapshot::from_bytes`] rejects versions it does not understand.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why decoding a snapshot failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input ended before the expected data.
+    Truncated,
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The input's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// An enum discriminant or constrained value was out of range.
+    BadValue(&'static str),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the last expected field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "missing OVSN magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::BadValue(what) => write!(f, "invalid encoded value: {what}"),
+            SnapshotError::BadUtf8 => write!(f, "invalid UTF-8 in encoded string"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A little-endian binary encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the written bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes, unframed (the caller writes any length prefix).
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+/// A little-endian binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take_slice(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take_slice(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than 4 bytes remain.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        let s = self.take_slice(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let s = self.take_slice(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+    }
+
+    /// Asserts the input was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TrailingBytes`] if any bytes remain.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(SnapshotError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// The snapshot codec: a byte-stable, field-wise binary encoding.
+pub trait Pack: Sized {
+    /// Appends this value's encoding to `enc`.
+    fn pack(&self, enc: &mut Enc);
+
+    /// Decodes one value from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] raised by malformed or truncated input.
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl Pack for u8 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u8(*self);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        dec.take_u8()
+    }
+}
+
+impl Pack for u16 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(u32::from(*self));
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        u16::try_from(dec.take_u32()?).map_err(|_| SnapshotError::BadValue("u16"))
+    }
+}
+
+impl Pack for u32 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(*self);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        dec.take_u32()
+    }
+}
+
+impl Pack for u64 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(*self);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        dec.take_u64()
+    }
+}
+
+impl Pack for usize {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(*self as u64);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        usize::try_from(dec.take_u64()?).map_err(|_| SnapshotError::BadValue("usize"))
+    }
+}
+
+impl Pack for i32 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(*self as u32);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(dec.take_u32()? as i32)
+    }
+}
+
+impl Pack for i64 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(*self as u64);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(dec.take_u64()? as i64)
+    }
+}
+
+impl Pack for bool {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u8(u8::from(*self));
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        match dec.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::BadValue("bool")),
+        }
+    }
+}
+
+impl Pack for char {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(*self as u32);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        char::from_u32(dec.take_u32()?).ok_or(SnapshotError::BadValue("char"))
+    }
+}
+
+impl Pack for f64 {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.to_bits());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(f64::from_bits(dec.take_u64()?))
+    }
+}
+
+impl Pack for String {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        enc.put_slice(self.as_bytes());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = usize::unpack(dec)?;
+        let bytes = dec.take_slice(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+    }
+}
+
+impl<T: Pack> Pack for Option<T> {
+    fn pack(&self, enc: &mut Enc) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.pack(enc);
+            }
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        match dec.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpack(dec)?)),
+            _ => Err(SnapshotError::BadValue("option tag")),
+        }
+    }
+}
+
+impl<T: Pack> Pack for Vec<T> {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = usize::unpack(dec)?;
+        // Guard allocations against corrupt length prefixes: every element
+        // encodes to at least one byte.
+        if len > dec.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::unpack(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Pack> Pack for VecDeque<T> {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Vec::<T>::unpack(dec)?.into())
+    }
+}
+
+impl<K: Pack + Ord, V: Pack> Pack for BTreeMap<K, V> {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        for (k, v) in self {
+            k.pack(enc);
+            v.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = usize::unpack(dec)?;
+        if len > dec.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::unpack(dec)?;
+            let v = V::unpack(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Pack + Ord> Pack for BTreeSet<T> {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = usize::unpack(dec)?;
+        if len > dec.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::unpack(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+/// `HashMap`s encode *sorted by key*: hasher iteration order must never
+/// leak into snapshot bytes (it would break hash stability across runs).
+impl<K: Pack + Ord + Eq + Hash, V: Pack> Pack for HashMap<K, V> {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        for k in keys {
+            k.pack(enc);
+            self[k].pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = usize::unpack(dec)?;
+        if len > dec.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut out = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = K::unpack(dec)?;
+            let v = V::unpack(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Pack, const N: usize> Pack for [T; N] {
+    fn pack(&self, enc: &mut Enc) {
+        for item in self {
+            item.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::unpack(dec)?);
+        }
+        out.try_into()
+            .map_err(|_| SnapshotError::BadValue("array length"))
+    }
+}
+
+impl<A: Pack, B: Pack> Pack for (A, B) {
+    fn pack(&self, enc: &mut Enc) {
+        self.0.pack(enc);
+        self.1.pack(enc);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::unpack(dec)?, B::unpack(dec)?))
+    }
+}
+
+impl<A: Pack, B: Pack, C: Pack> Pack for (A, B, C) {
+    fn pack(&self, enc: &mut Enc) {
+        self.0.pack(enc);
+        self.1.pack(enc);
+        self.2.pack(enc);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::unpack(dec)?, B::unpack(dec)?, C::unpack(dec)?))
+    }
+}
+
+impl Pack for Timestamp {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.as_millis());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Timestamp::from_millis(dec.take_u64()?))
+    }
+}
+
+impl Pack for SimDuration {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.as_millis());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(SimDuration::from_millis(dec.take_u64()?))
+    }
+}
+
+impl Pack for Pid {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(self.as_raw());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Pid::from_raw(dec.take_u32()?))
+    }
+}
+
+impl Pack for Uid {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(self.as_raw());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Uid::from_raw(dec.take_u32()?))
+    }
+}
+
+impl Pack for Fd {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u32(self.as_raw());
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(Fd::from_raw(dec.take_u32()?))
+    }
+}
+
+/// Derives field-wise [`Pack`] for a struct with named fields. Invoke in
+/// the module that defines the struct so private fields resolve; fields
+/// encode in the listed order, which becomes part of the snapshot format.
+#[macro_export]
+macro_rules! impl_pack {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::snapshot::Pack for $ty {
+            fn pack(&self, enc: &mut $crate::snapshot::Enc) {
+                $($crate::snapshot::Pack::pack(&self.$field, enc);)+
+            }
+            fn unpack(
+                dec: &mut $crate::snapshot::Dec<'_>,
+            ) -> Result<Self, $crate::snapshot::SnapshotError> {
+                $(let $field = $crate::snapshot::Pack::unpack(dec)?;)+
+                Ok(Self { $($field),+ })
+            }
+        }
+    };
+}
+
+/// Derives [`Pack`] for a single-field tuple struct (newtype). Invoke in
+/// the defining module so the `.0` field resolves.
+#[macro_export]
+macro_rules! impl_pack_newtype {
+    ($ty:ty, $inner:ty) => {
+        impl $crate::snapshot::Pack for $ty {
+            fn pack(&self, enc: &mut $crate::snapshot::Enc) {
+                $crate::snapshot::Pack::pack(&self.0, enc);
+            }
+            fn unpack(
+                dec: &mut $crate::snapshot::Dec<'_>,
+            ) -> Result<Self, $crate::snapshot::SnapshotError> {
+                Ok(Self(<$inner as $crate::snapshot::Pack>::unpack(dec)?))
+            }
+        }
+    };
+}
+
+/// A versioned checkpoint of one simulated machine.
+///
+/// Two sections:
+///
+/// * **state** — everything record/replay must reproduce byte-for-byte:
+///   kernel, display manager, clock, RNG positions, fault-plan schedule.
+///   [`Snapshot::state_hash`] hashes exactly this section.
+/// * **aux** — observability state that restore carries forward but that is
+///   *not* part of the canonical state: the trace buffer prefix and the
+///   metrics registry (some histograms observe on derived-cache misses, so
+///   they are legitimately not a pure function of the event history after
+///   a restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    version: u32,
+    state: Vec<u8>,
+    aux: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Wraps encoded state and aux sections under the current version.
+    pub fn new(state: Vec<u8>, aux: Vec<u8>) -> Self {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            state,
+            aux,
+        }
+    }
+
+    /// The format version this snapshot was encoded under.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The canonical (hashed) state section.
+    pub fn state(&self) -> &[u8] {
+        &self.state
+    }
+
+    /// The auxiliary (unhashed) section.
+    pub fn aux(&self) -> &[u8] {
+        &self.aux
+    }
+
+    /// The canonical hash of the state section (FNV-1a, 64-bit).
+    pub fn state_hash(&self) -> u64 {
+        fnv1a64(&self.state)
+    }
+
+    /// Total serialized size, including the header and length prefixes.
+    pub fn total_bytes(&self) -> usize {
+        SNAPSHOT_MAGIC.len() + 4 + 8 + self.state.len() + 8 + self.aux.len()
+    }
+
+    /// Serializes the snapshot: magic, version, then both sections
+    /// length-prefixed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_slice(&SNAPSHOT_MAGIC);
+        enc.put_u32(self.version);
+        enc.put_u64(self.state.len() as u64);
+        enc.put_slice(&self.state);
+        enc.put_u64(self.aux.len() as u64);
+        enc.put_slice(&self.aux);
+        enc.into_bytes()
+    }
+
+    /// Parses a serialized snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`],
+    /// [`SnapshotError::Truncated`], or [`SnapshotError::TrailingBytes`]
+    /// for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut dec = Dec::new(bytes);
+        if dec.take_slice(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = dec.take_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let state_len = usize::unpack(&mut dec)?;
+        let state = dec.take_slice(state_len)?.to_vec();
+        let aux_len = usize::unpack(&mut dec)?;
+        let aux = dec.take_slice(aux_len)?.to_vec();
+        dec.finish()?;
+        Ok(Snapshot {
+            version,
+            state,
+            aux,
+        })
+    }
+}
+
+/// FNV-1a, 64-bit: the canonical state hash. Dependency-free and stable
+/// across platforms and runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The intern table backing [`intern`]. Bounded in practice: only trace
+/// span/field names pass through here, and those come from a fixed set of
+/// instrumentation sites.
+static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+
+/// Returns a `&'static str` equal to `s`, leaking at most one copy per
+/// distinct string. Used when restoring trace nodes, whose names are
+/// `&'static str` in live form.
+pub fn intern(s: &str) -> &'static str {
+    let mut table = INTERNED.lock().expect("intern table lock");
+    if let Some(&existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.insert(s.to_owned(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pack + PartialEq + std::fmt::Debug>(value: T) {
+        let mut enc = Enc::new();
+        value.pack(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = T::unpack(&mut dec).expect("unpack");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0o755u16);
+        roundtrip(7u32);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX as u64);
+        roundtrip(-5i32);
+        roundtrip(-9i64);
+        roundtrip(true);
+        roundtrip('δ');
+        roundtrip(0.25f64);
+        roundtrip(String::from("mic"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(3u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(VecDeque::from(vec![String::from("a"), String::from("b")]));
+        roundtrip(BTreeMap::from([(1u32, String::from("x"))]));
+        roundtrip(BTreeSet::from([9u64, 4]));
+        roundtrip([1u64, 2, 3]);
+        roundtrip((1u32, String::from("pair")));
+        roundtrip((1u32, 2u64, false));
+    }
+
+    #[test]
+    fn sim_ids_and_time_roundtrip() {
+        roundtrip(Pid::from_raw(42));
+        roundtrip(Uid::ROOT);
+        roundtrip(Fd::from_raw(3));
+        roundtrip(Timestamp::from_millis(1_500));
+        roundtrip(SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn hashmap_encoding_is_key_sorted() {
+        // Same contents inserted in different orders must encode the same.
+        let mut a = HashMap::new();
+        a.insert(3u64, 30u64);
+        a.insert(1u64, 10u64);
+        a.insert(2u64, 20u64);
+        let mut b = HashMap::new();
+        b.insert(2u64, 20u64);
+        b.insert(1u64, 10u64);
+        b.insert(3u64, 30u64);
+        let (mut ea, mut eb) = (Enc::new(), Enc::new());
+        a.pack(&mut ea);
+        b.pack(&mut eb);
+        assert_eq!(ea.bytes(), eb.bytes());
+        roundtrip(a);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut enc = Enc::new();
+        vec![1u64; 4].pack(&mut enc);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut]);
+            assert!(Vec::<u64>::unpack(&mut dec).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut enc = Enc::new();
+        enc.put_u64(u64::MAX); // absurd element count
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(Vec::<u8>::unpack(&mut dec), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn bad_enum_tags_are_rejected() {
+        let mut dec = Dec::new(&[7]);
+        assert_eq!(bool::unpack(&mut dec), Err(SnapshotError::BadValue("bool")));
+        let mut dec = Dec::new(&[9, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            Option::<u64>::unpack(&mut dec),
+            Err(SnapshotError::BadValue("option tag"))
+        );
+    }
+
+    #[test]
+    fn snapshot_container_roundtrips() {
+        let snap = Snapshot::new(vec![1, 2, 3], vec![4, 5]);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.total_bytes());
+        let back = Snapshot::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(back.version(), SNAPSHOT_VERSION);
+        assert_eq!(back.state_hash(), snap.state_hash());
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_magic_version_and_trailing() {
+        let snap = Snapshot::new(vec![1], vec![]);
+        let good = snap.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            Snapshot::from_bytes(&bad_magic),
+            Err(SnapshotError::BadMagic)
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            Snapshot::from_bytes(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            Snapshot::from_bytes(&trailing),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+
+        assert_eq!(
+            Snapshot::from_bytes(&good[..good.len() - 1]),
+            Err(SnapshotError::Truncated)
+        );
+    }
+
+    #[test]
+    fn state_hash_depends_only_on_state_section() {
+        let a = Snapshot::new(vec![1, 2, 3], vec![9, 9]);
+        let b = Snapshot::new(vec![1, 2, 3], vec![]);
+        let c = Snapshot::new(vec![1, 2, 4], vec![9, 9]);
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_ne!(a.state_hash(), c.state_hash());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn intern_deduplicates_and_preserves_content() {
+        let a = intern("kernel.decide.test-intern");
+        let b = intern("kernel.decide.test-intern");
+        assert_eq!(a, "kernel.decide.test-intern");
+        assert!(std::ptr::eq(a, b), "same leaked allocation");
+    }
+
+    #[test]
+    fn impl_pack_macro_derives_fieldwise_codec() {
+        #[derive(Debug, PartialEq)]
+        struct Probe {
+            a: u64,
+            b: String,
+            c: Option<bool>,
+        }
+        impl_pack!(Probe { a, b, c });
+
+        #[derive(Debug, PartialEq)]
+        struct Wrapped(u32);
+        impl_pack_newtype!(Wrapped, u32);
+
+        roundtrip(Probe {
+            a: 7,
+            b: "x".into(),
+            c: Some(true),
+        });
+        roundtrip(Wrapped(9));
+    }
+}

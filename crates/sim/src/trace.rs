@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use crate::snapshot::{intern, Dec, Enc, Pack, SnapshotError};
 use crate::time::Timestamp;
+use crate::{impl_pack, impl_pack_newtype};
 
 /// Default bound on stored span nodes per tracer.
 pub const DEFAULT_SPAN_LIMIT: usize = 65_536;
@@ -659,9 +661,179 @@ fn base_name(name: &str) -> &str {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+//
+// The trace buffer is serialized into a checkpoint's *aux* section: a
+// restored run must carry the recorded span prefix forward so that a
+// replay-from-snapshot renders the same `render_json` as the uninterrupted
+// run. Span and field names are `&'static str` in live form; they encode
+// by content and are re-leaked through `snapshot::intern` on restore (the
+// name set is bounded by the fixed instrumentation sites).
+
+impl_pack_newtype!(SpanId, u64);
+
+impl Pack for SpanKind {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u8(match self {
+            SpanKind::Span => 0,
+            SpanKind::Event => 1,
+        });
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        match dec.take_u8()? {
+            0 => Ok(SpanKind::Span),
+            1 => Ok(SpanKind::Event),
+            _ => Err(SnapshotError::BadValue("span kind")),
+        }
+    }
+}
+
+impl Pack for Value {
+    fn pack(&self, enc: &mut Enc) {
+        match self {
+            Value::U64(v) => {
+                enc.put_u8(0);
+                v.pack(enc);
+            }
+            Value::I64(v) => {
+                enc.put_u8(1);
+                v.pack(enc);
+            }
+            Value::Bool(v) => {
+                enc.put_u8(2);
+                v.pack(enc);
+            }
+            Value::Str(v) => {
+                enc.put_u8(3);
+                v.pack(enc);
+            }
+            Value::Static(v) => {
+                enc.put_u8(4);
+                enc.put_u64(v.len() as u64);
+                enc.put_slice(v.as_bytes());
+            }
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(match dec.take_u8()? {
+            0 => Value::U64(u64::unpack(dec)?),
+            1 => Value::I64(i64::unpack(dec)?),
+            2 => Value::Bool(bool::unpack(dec)?),
+            3 => Value::Str(String::unpack(dec)?),
+            4 => Value::Static(intern(&String::unpack(dec)?)),
+            _ => return Err(SnapshotError::BadValue("trace value tag")),
+        })
+    }
+}
+
+impl Pack for FieldSet {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u8(self.len);
+        for (key, value) in self.iter() {
+            enc.put_u64(key.len() as u64);
+            enc.put_slice(key.as_bytes());
+            value.pack(enc);
+        }
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let len = dec.take_u8()?;
+        if usize::from(len) > MAX_SPAN_FIELDS {
+            return Err(SnapshotError::BadValue("field count"));
+        }
+        let mut set = FieldSet::new();
+        for _ in 0..len {
+            let key = intern(&String::unpack(dec)?);
+            let value = Value::unpack(dec)?;
+            set.push(key, value);
+        }
+        Ok(set)
+    }
+}
+
+impl Pack for SpanNode {
+    fn pack(&self, enc: &mut Enc) {
+        enc.put_u64(self.name.len() as u64);
+        enc.put_slice(self.name.as_bytes());
+        self.kind.pack(enc);
+        self.enter.pack(enc);
+        self.exit.pack(enc);
+        self.parent.pack(enc);
+        self.fields.pack(enc);
+    }
+    fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let name = intern(&String::unpack(dec)?);
+        Ok(SpanNode {
+            name,
+            kind: SpanKind::unpack(dec)?,
+            enter: Timestamp::unpack(dec)?,
+            exit: Option::<Timestamp>::unpack(dec)?,
+            parent: Option::<SpanId>::unpack(dec)?,
+            fields: FieldSet::unpack(dec)?,
+        })
+    }
+}
+
+impl Tracer {
+    /// Serializes this handle's state — enabled flag, span limit, recorded
+    /// nodes, open-span stack, drop counter — for a checkpoint.
+    pub fn export(&self, enc: &mut Enc) {
+        match &self.inner {
+            None => false.pack(enc),
+            Some(inner) => {
+                true.pack(enc);
+                let buf = inner.lock().unwrap();
+                buf.limit.pack(enc);
+                buf.dropped.pack(enc);
+                buf.spans.pack(enc);
+                buf.open.pack(enc);
+            }
+        }
+    }
+
+    /// Rebuilds a tracer from [`Tracer::export`] state. The restored handle
+    /// is a fresh buffer (not shared with the exporting tracer) whose
+    /// rendered output is byte-identical to the exporter's at export time.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] raised by malformed input.
+    pub fn import(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        if !bool::unpack(dec)? {
+            return Ok(Tracer::disabled());
+        }
+        let limit = usize::unpack(dec)?;
+        let dropped = u64::unpack(dec)?;
+        let spans = Vec::<SpanNode>::unpack(dec)?;
+        let open = Vec::<SpanId>::unpack(dec)?;
+        Ok(Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceBuf {
+                spans,
+                open,
+                dropped,
+                limit,
+            }))),
+        })
+    }
+}
+
+impl_pack!(Histogram {
+    buckets,
+    sum_ms,
+    count
+});
+
+impl_pack!(MetricsRegistry {
+    counters,
+    gauges,
+    histograms
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{Dec, Enc, Pack};
     use crate::time::SimDuration;
 
     fn t(ms: u64) -> Timestamp {
@@ -859,6 +1031,61 @@ mod tests {
         assert!(json.contains("\"i\":-2"));
         assert!(json.contains("\"b\":true"));
         assert!(json.contains("\"s\":\"x\""));
+    }
+
+    #[test]
+    fn tracer_export_import_renders_identically() {
+        let tracer = Tracer::with_limit(16);
+        let outer = tracer.span_enter("channel.exchange", t(10));
+        tracer.add_field(outer, "kind", "notify");
+        tracer.event("channel.fault", t(11), &[("kind", Value::Static("drop"))]);
+        tracer.record_span(
+            "kernel.decide",
+            t(12),
+            t(12),
+            &[
+                ("verdict", Value::Str("grant".into())),
+                ("pid", Value::U64(7)),
+            ],
+        );
+        // Leave `outer` open: the open stack must survive the roundtrip so
+        // post-restore spans nest identically.
+        let mut enc = Enc::new();
+        tracer.export(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let restored = Tracer::import(&mut dec).expect("import");
+        dec.finish().expect("fully consumed");
+        assert_eq!(restored.render_json(), tracer.render_json());
+        assert_eq!(restored.span_limit(), 16);
+        // New spans keep nesting under the still-open parent on both sides.
+        tracer.event("channel.retry", t(13), &[]);
+        restored.event("channel.retry", t(13), &[]);
+        assert_eq!(restored.render_json(), tracer.render_json());
+    }
+
+    #[test]
+    fn disabled_tracer_exports_as_disabled() {
+        let mut enc = Enc::new();
+        Tracer::disabled().export(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = Tracer::import(&mut Dec::new(&bytes)).expect("import");
+        assert!(!restored.is_enabled());
+    }
+
+    #[test]
+    fn metrics_registry_roundtrips_byte_identically() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("overhaul_monitor_grants_total", 3);
+        reg.set_gauge("overhaul_channel_state", 2);
+        reg.observe_ms("overhaul_channel_exchange_ms", 42);
+        let mut enc = Enc::new();
+        reg.pack(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let restored = MetricsRegistry::unpack(&mut dec).expect("unpack");
+        dec.finish().expect("fully consumed");
+        assert_eq!(restored.render(), reg.render());
     }
 
     #[test]

@@ -158,6 +158,22 @@ impl ClientRegistry {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the client registry.
+
+    use overhaul_sim::impl_pack;
+
+    use super::{Client, ClientRegistry};
+
+    impl_pack!(Client {
+        id,
+        pid,
+        events,
+        property_watches
+    });
+    impl_pack!(ClientRegistry { clients, next });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

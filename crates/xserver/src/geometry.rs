@@ -122,6 +122,22 @@ impl Rect {
     }
 }
 
+mod pack {
+    //! Snapshot codec for screen geometry.
+
+    use overhaul_sim::impl_pack;
+
+    use super::{Point, Rect};
+
+    impl_pack!(Point { x, y });
+    impl_pack!(Rect {
+        x,
+        y,
+        width,
+        height
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,7 @@ pub mod overlay;
 pub mod prompt;
 pub mod protocol;
 pub mod selection;
+pub mod snapshot;
 pub mod window;
 
 use overhaul_sim::{

@@ -202,6 +202,30 @@ impl AlertManager {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the overlay alert surface.
+
+    use overhaul_sim::impl_pack;
+
+    use super::{Alert, AlertManager};
+
+    impl_pack!(Alert {
+        process,
+        op,
+        granted,
+        shown_at,
+        expires,
+        secret,
+        replayed,
+        reason
+    });
+    impl_pack!(AlertManager {
+        secret,
+        duration,
+        history
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

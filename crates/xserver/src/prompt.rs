@@ -157,6 +157,50 @@ impl PromptSurface {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the overlay prompt surface.
+
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Prompt, PromptId, PromptState, PromptSurface};
+
+    impl_pack_newtype!(PromptId, u64);
+
+    impl Pack for PromptState {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u8(match self {
+                PromptState::Pending => 0,
+                PromptState::Approved => 1,
+                PromptState::Denied => 2,
+            });
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => PromptState::Pending,
+                1 => PromptState::Approved,
+                2 => PromptState::Denied,
+                _ => return Err(SnapshotError::BadValue("prompt state")),
+            })
+        }
+    }
+
+    impl_pack!(Prompt {
+        id,
+        process,
+        op,
+        asked_at,
+        state,
+        secret
+    });
+    impl_pack!(PromptSurface {
+        secret,
+        next,
+        pending,
+        history
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

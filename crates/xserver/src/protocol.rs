@@ -396,6 +396,309 @@ impl fmt::Display for XError {
 
 impl std::error::Error for XError {}
 
+mod pack {
+    //! Snapshot codec for the protocol types that appear in persistent
+    //! server state (client event queues, selection tables) or in recorded
+    //! event logs ([`Request`]). [`Reply`] and [`XError`] are transient
+    //! wire values and are never serialized.
+
+    use overhaul_sim::impl_pack_newtype;
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+
+    use super::{Atom, ClientId, InputPayload, Request, XEvent};
+
+    impl_pack_newtype!(ClientId, u32);
+    impl_pack_newtype!(Atom, String);
+
+    impl Pack for InputPayload {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                InputPayload::Key { ch } => {
+                    enc.put_u8(0);
+                    ch.pack(enc);
+                }
+                InputPayload::Button { x, y } => {
+                    enc.put_u8(1);
+                    x.pack(enc);
+                    y.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => InputPayload::Key {
+                    ch: Pack::unpack(dec)?,
+                },
+                1 => InputPayload::Button {
+                    x: Pack::unpack(dec)?,
+                    y: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("input payload")),
+            })
+        }
+    }
+
+    impl Pack for XEvent {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                XEvent::Input {
+                    window,
+                    payload,
+                    synthetic,
+                } => {
+                    enc.put_u8(0);
+                    window.pack(enc);
+                    payload.pack(enc);
+                    synthetic.pack(enc);
+                }
+                XEvent::SelectionRequest {
+                    selection,
+                    requestor,
+                    property,
+                } => {
+                    enc.put_u8(1);
+                    selection.pack(enc);
+                    requestor.pack(enc);
+                    property.pack(enc);
+                }
+                XEvent::SelectionNotify {
+                    selection,
+                    property,
+                } => {
+                    enc.put_u8(2);
+                    selection.pack(enc);
+                    property.pack(enc);
+                }
+                XEvent::PropertyNotify { window, property } => {
+                    enc.put_u8(3);
+                    window.pack(enc);
+                    property.pack(enc);
+                }
+                XEvent::SelectionClear { selection } => {
+                    enc.put_u8(4);
+                    selection.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => XEvent::Input {
+                    window: Pack::unpack(dec)?,
+                    payload: Pack::unpack(dec)?,
+                    synthetic: Pack::unpack(dec)?,
+                },
+                1 => XEvent::SelectionRequest {
+                    selection: Pack::unpack(dec)?,
+                    requestor: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                },
+                2 => XEvent::SelectionNotify {
+                    selection: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                },
+                3 => XEvent::PropertyNotify {
+                    window: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                },
+                4 => XEvent::SelectionClear {
+                    selection: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("x event")),
+            })
+        }
+    }
+
+    impl Pack for Request {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                Request::CreateWindow { rect } => {
+                    enc.put_u8(0);
+                    rect.pack(enc);
+                }
+                Request::MapWindow { window } => {
+                    enc.put_u8(1);
+                    window.pack(enc);
+                }
+                Request::UnmapWindow { window } => {
+                    enc.put_u8(2);
+                    window.pack(enc);
+                }
+                Request::RaiseWindow { window } => {
+                    enc.put_u8(3);
+                    window.pack(enc);
+                }
+                Request::DestroyWindow { window } => {
+                    enc.put_u8(4);
+                    window.pack(enc);
+                }
+                Request::SetInputFocus { window } => {
+                    enc.put_u8(5);
+                    window.pack(enc);
+                }
+                Request::PutImage { window, data } => {
+                    enc.put_u8(6);
+                    window.pack(enc);
+                    data.pack(enc);
+                }
+                Request::GetImage { window } => {
+                    enc.put_u8(7);
+                    window.pack(enc);
+                }
+                Request::XShmGetImage { window } => {
+                    enc.put_u8(8);
+                    window.pack(enc);
+                }
+                Request::CopyArea { src, dst } => {
+                    enc.put_u8(9);
+                    src.pack(enc);
+                    dst.pack(enc);
+                }
+                Request::CopyPlane { src, dst } => {
+                    enc.put_u8(10);
+                    src.pack(enc);
+                    dst.pack(enc);
+                }
+                Request::SetSelectionOwner { selection, window } => {
+                    enc.put_u8(11);
+                    selection.pack(enc);
+                    window.pack(enc);
+                }
+                Request::GetSelectionOwner { selection } => {
+                    enc.put_u8(12);
+                    selection.pack(enc);
+                }
+                Request::ConvertSelection {
+                    selection,
+                    requestor,
+                    property,
+                } => {
+                    enc.put_u8(13);
+                    selection.pack(enc);
+                    requestor.pack(enc);
+                    property.pack(enc);
+                }
+                Request::ChangeProperty {
+                    window,
+                    property,
+                    data,
+                } => {
+                    enc.put_u8(14);
+                    window.pack(enc);
+                    property.pack(enc);
+                    data.pack(enc);
+                }
+                Request::GetProperty {
+                    window,
+                    property,
+                    delete,
+                } => {
+                    enc.put_u8(15);
+                    window.pack(enc);
+                    property.pack(enc);
+                    delete.pack(enc);
+                }
+                Request::DeleteProperty { window, property } => {
+                    enc.put_u8(16);
+                    window.pack(enc);
+                    property.pack(enc);
+                }
+                Request::SelectPropertyEvents { window } => {
+                    enc.put_u8(17);
+                    window.pack(enc);
+                }
+                Request::SendEvent { target, event } => {
+                    enc.put_u8(18);
+                    target.pack(enc);
+                    event.as_ref().pack(enc);
+                }
+                Request::XTestFakeInput { payload, target } => {
+                    enc.put_u8(19);
+                    payload.pack(enc);
+                    target.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => Request::CreateWindow {
+                    rect: Pack::unpack(dec)?,
+                },
+                1 => Request::MapWindow {
+                    window: Pack::unpack(dec)?,
+                },
+                2 => Request::UnmapWindow {
+                    window: Pack::unpack(dec)?,
+                },
+                3 => Request::RaiseWindow {
+                    window: Pack::unpack(dec)?,
+                },
+                4 => Request::DestroyWindow {
+                    window: Pack::unpack(dec)?,
+                },
+                5 => Request::SetInputFocus {
+                    window: Pack::unpack(dec)?,
+                },
+                6 => Request::PutImage {
+                    window: Pack::unpack(dec)?,
+                    data: Pack::unpack(dec)?,
+                },
+                7 => Request::GetImage {
+                    window: Pack::unpack(dec)?,
+                },
+                8 => Request::XShmGetImage {
+                    window: Pack::unpack(dec)?,
+                },
+                9 => Request::CopyArea {
+                    src: Pack::unpack(dec)?,
+                    dst: Pack::unpack(dec)?,
+                },
+                10 => Request::CopyPlane {
+                    src: Pack::unpack(dec)?,
+                    dst: Pack::unpack(dec)?,
+                },
+                11 => Request::SetSelectionOwner {
+                    selection: Pack::unpack(dec)?,
+                    window: Pack::unpack(dec)?,
+                },
+                12 => Request::GetSelectionOwner {
+                    selection: Pack::unpack(dec)?,
+                },
+                13 => Request::ConvertSelection {
+                    selection: Pack::unpack(dec)?,
+                    requestor: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                },
+                14 => Request::ChangeProperty {
+                    window: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                    data: Pack::unpack(dec)?,
+                },
+                15 => Request::GetProperty {
+                    window: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                    delete: Pack::unpack(dec)?,
+                },
+                16 => Request::DeleteProperty {
+                    window: Pack::unpack(dec)?,
+                    property: Pack::unpack(dec)?,
+                },
+                17 => Request::SelectPropertyEvents {
+                    window: Pack::unpack(dec)?,
+                },
+                18 => Request::SendEvent {
+                    target: Pack::unpack(dec)?,
+                    event: Box::new(Pack::unpack(dec)?),
+                },
+                19 => Request::XTestFakeInput {
+                    payload: Pack::unpack(dec)?,
+                    target: Pack::unpack(dec)?,
+                },
+                _ => return Err(SnapshotError::BadValue("x request")),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

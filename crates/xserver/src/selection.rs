@@ -130,6 +130,25 @@ impl SelectionTable {
     }
 }
 
+mod pack {
+    //! Snapshot codec for selection (clipboard) state.
+
+    use overhaul_sim::impl_pack;
+
+    use super::{SelectionState, SelectionTable, Transfer};
+
+    impl_pack!(Transfer {
+        source,
+        target,
+        requestor,
+        property,
+        data_stored,
+        notified
+    });
+    impl_pack!(SelectionState { owner, transfer });
+    impl_pack!(SelectionTable { selections });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -329,6 +329,30 @@ impl WindowTree {
     }
 }
 
+mod pack {
+    //! Snapshot codec for the window tree.
+
+    use overhaul_sim::{impl_pack, impl_pack_newtype};
+
+    use super::{Window, WindowId, WindowTree};
+
+    impl_pack_newtype!(WindowId, u64);
+    impl_pack!(Window {
+        id,
+        owner,
+        rect,
+        mapped,
+        visible_since,
+        pixels,
+        properties
+    });
+    impl_pack!(WindowTree {
+        windows,
+        stacking,
+        next
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -221,6 +221,106 @@ proptest! {
 }
 
 // ------------------------------------------------------------------
+// Snapshot/restore differential: a restored machine (cold caches) must
+// decide and trace exactly like the uninterrupted one
+// ------------------------------------------------------------------
+
+/// A system-boundary action for the snapshot differential timelines.
+#[derive(Debug, Clone)]
+enum SysAction {
+    Advance(u64),
+    Click,
+    Key(char),
+    CrashX,
+    RestartX,
+}
+
+fn sys_action_strategy() -> impl Strategy<Value = SysAction> {
+    prop_oneof![
+        (1u64..3500).prop_map(SysAction::Advance),
+        Just(SysAction::Click),
+        (0u32..26).prop_map(|i| SysAction::Key(char::from(b'a' + i as u8))),
+        Just(SysAction::CrashX),
+        Just(SysAction::RestartX),
+    ]
+}
+
+/// Applies one action, then queries the engine once and returns everything
+/// observable about the decision: the device-open outcome and the engine's
+/// full explanation (verdict + [`DecisionTrace`]).
+fn step_and_decide(
+    system: &mut System,
+    app: &overhaul_core::Gui,
+    action: &SysAction,
+) -> (
+    Result<(), Errno>,
+    Option<overhaul_kernel::policy::DecisionOutcome>,
+) {
+    match action {
+        SysAction::Advance(ms) => {
+            system.advance(SimDuration::from_millis(*ms));
+        }
+        SysAction::Click => {
+            system.click_window(app.window);
+        }
+        SysAction::Key(ch) => {
+            system.key(*ch);
+        }
+        SysAction::CrashX => {
+            if system.x_alive() {
+                system.crash_x();
+            }
+        }
+        SysAction::RestartX => {
+            if !system.x_alive() {
+                let _ = system.restart_x();
+            }
+        }
+    }
+    let opened = system.open_device(app.pid, "/dev/snd/mic0").map(|_| ());
+    let outcome = system
+        .kernel()
+        .explain_last(app.pid, ResourceOp::Mic)
+        .copied();
+    (opened, outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Checkpoint a machine mid-timeline, restore it (which rebuilds the
+    /// verdict cache and dup-suppression sets empty), and diff every
+    /// subsequent engine decision — verdict, [`DecisionTrace`], and the
+    /// resulting syscall outcome — against the uninterrupted run. Any
+    /// decision a cold cache could change shows up here.
+    #[test]
+    fn restored_machine_decides_identically_to_uninterrupted_run(
+        prefix in prop::collection::vec(sys_action_strategy(), 1..25),
+        suffix in prop::collection::vec(sys_action_strategy(), 1..25),
+    ) {
+        let mut original = System::new(OverhaulConfig::protected());
+        let app = original
+            .launch_gui_app("/usr/bin/recorder", Rect::new(0, 0, 100, 100))
+            .expect("launch");
+        original.settle();
+        for action in &prefix {
+            let _ = step_and_decide(&mut original, &app, action);
+        }
+
+        let snap = original.snapshot();
+        let mut restored = System::from_snapshot(&snap).expect("restore");
+        prop_assert_eq!(restored.state_hash(), original.state_hash());
+
+        for action in &suffix {
+            let uninterrupted = step_and_decide(&mut original, &app, action);
+            let resumed = step_and_decide(&mut restored, &app, action);
+            prop_assert_eq!(resumed, uninterrupted);
+        }
+        prop_assert_eq!(restored.state_hash(), original.state_hash());
+    }
+}
+
+// ------------------------------------------------------------------
 // Deterministic fault-plan machines
 // ------------------------------------------------------------------
 

@@ -1,0 +1,268 @@
+//! Replay determinism under fire: a seeded, faulted soak — mixed
+//! legitimate use, spyware traffic, synthetic-input floods, scheduled
+//! display-manager crashes and restarts — recorded at the [`System`]
+//! boundary, then replayed two ways:
+//!
+//! 1. **from boot** — a fresh machine built from the log's configuration
+//!    re-applies every event;
+//! 2. **from a mid-run checkpoint** — a machine restored from a snapshot
+//!    taken halfway (with its verdict cache and dup-suppression sets
+//!    rebuilt cold) re-applies only the suffix.
+//!
+//! Both must land on a byte-identical [`System::state_hash`] *and* a
+//! byte-identical [`System::trace_dump`]. This is the acceptance gate for
+//! the checkpoint/restore subsystem: any state the snapshot codec missed,
+//! any derived cache that leaks into decisions, or any hidden
+//! nondeterminism in the fault plan's RNG stream shows up here as a hash
+//! or trace mismatch. CI runs this suite as its `replay-determinism` step.
+
+use overhaul_core::{replay, replay_from, Event, EventLog, Gui, OverhaulConfig, Recorder, System};
+use overhaul_sim::snapshot::Snapshot;
+use overhaul_sim::{FaultSpec, Pid, SimDuration, SimRng};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Atom, ClientId, InputPayload, Request, XEvent};
+
+fn faulted_config(seed: u64) -> OverhaulConfig {
+    OverhaulConfig::protected().with_tracing().with_fault(
+        FaultSpec::quiet(seed)
+            .with_drop_p(0.10)
+            .with_delay_p(0.15)
+            .with_duplicate_p(0.10)
+            .with_reorder_p(0.05),
+    )
+}
+
+/// The system_soak workload shape, expressed purely in recordable
+/// [`Event`]s: every input the soak would issue crosses the recorder.
+struct RecordedSoak {
+    rec: Recorder,
+    rng: SimRng,
+    apps: Vec<Gui>,
+    spy: Pid,
+    spy_client: ClientId,
+}
+
+impl RecordedSoak {
+    fn new(seed: u64) -> Self {
+        let mut rec = Recorder::new(faulted_config(seed));
+        let apps = (0..4)
+            .map(|i| {
+                rec.apply(Event::LaunchGuiApp {
+                    exe: format!("/usr/bin/app{i}"),
+                    rect: Rect::new(i * 220, 0, 200, 200),
+                })
+                .gui()
+                .expect("launch")
+            })
+            .collect::<Vec<_>>();
+        rec.apply(Event::Settle);
+        let spy = rec
+            .apply(Event::SpawnProcess {
+                parent: None,
+                exe: "/usr/bin/.spy".into(),
+            })
+            .pid()
+            .expect("spawn spy");
+        let spy_client = rec.apply(Event::ConnectX { pid: spy }).client();
+        RecordedSoak {
+            rec,
+            rng: SimRng::seeded(seed),
+            apps,
+            spy,
+            spy_client,
+        }
+    }
+
+    fn step(&mut self) {
+        let app = self.apps[self.rng.range(0, self.apps.len() as u64) as usize];
+        match self.rng.range(0, 10) {
+            // Legit: raise, click, then open a device quickly.
+            0..=2 => {
+                let _ = self.rec.apply(Event::XRequest {
+                    client: app.client,
+                    request: Request::RaiseWindow { window: app.window },
+                });
+                self.rec.apply(Event::Settle);
+                self.rec.apply(Event::ClickWindow { window: app.window });
+                self.rec.apply(Event::Advance(SimDuration::from_millis(
+                    self.rng.range(10, 1_500),
+                )));
+                let path = if self.rng.chance(0.5) {
+                    "/dev/snd/mic0"
+                } else {
+                    "/dev/video0"
+                };
+                if let Ok(fd) = self
+                    .rec
+                    .apply(Event::OpenDevice {
+                        pid: app.pid,
+                        path: path.into(),
+                    })
+                    .fd()
+                {
+                    self.rec.apply(Event::SysClose { pid: app.pid, fd });
+                }
+            }
+            // Legit: clipboard copy after a click.
+            3..=4 => {
+                let _ = self.rec.apply(Event::XRequest {
+                    client: app.client,
+                    request: Request::RaiseWindow { window: app.window },
+                });
+                self.rec.apply(Event::Settle);
+                self.rec.apply(Event::ClickWindow { window: app.window });
+                let _ = self.rec.apply(Event::XRequest {
+                    client: app.client,
+                    request: Request::SetSelectionOwner {
+                        selection: Atom::clipboard(),
+                        window: app.window,
+                    },
+                });
+            }
+            // Attack: spyware cycle — device grabs and a screen capture.
+            5..=6 => {
+                let _ = self.rec.apply(Event::OpenDevice {
+                    pid: self.spy,
+                    path: "/dev/snd/mic0".into(),
+                });
+                let _ = self.rec.apply(Event::OpenDevice {
+                    pid: self.spy,
+                    path: "/dev/video0".into(),
+                });
+                let _ = self.rec.apply(Event::XRequest {
+                    client: self.spy_client,
+                    request: Request::GetImage { window: None },
+                });
+            }
+            // Attack: synthetic input flood at a random app.
+            7 => {
+                for _ in 0..4 {
+                    let _ = self.rec.apply(Event::XRequest {
+                        client: self.spy_client,
+                        request: Request::SendEvent {
+                            target: app.window,
+                            event: Box::new(XEvent::Input {
+                                window: app.window,
+                                payload: InputPayload::Button { x: 1, y: 1 },
+                                synthetic: false,
+                            }),
+                        },
+                    });
+                    let _ = self.rec.apply(Event::XRequest {
+                        client: self.spy_client,
+                        request: Request::XTestFakeInput {
+                            payload: InputPayload::Key { ch: 'x' },
+                            target: app.window,
+                        },
+                    });
+                }
+            }
+            // Time passes.
+            _ => {
+                self.rec.apply(Event::Advance(SimDuration::from_millis(
+                    self.rng.range(100, 10_000),
+                )));
+            }
+        }
+        // Apps drain their event queues, as real clients would.
+        for gui in &self.apps {
+            let _ = self.rec.apply(Event::DrainEvents { client: gui.client });
+        }
+    }
+}
+
+/// Records a faulted soak with scheduled display-manager crashes, taking a
+/// checkpoint at the halfway point. Returns the recorded machine, the
+/// sealed log, the mid-run snapshot, and the event index it was taken at.
+fn record_soak(seed: u64, steps: usize) -> (System, EventLog, Snapshot, usize) {
+    let mut soak = RecordedSoak::new(seed);
+    let mut checkpoint = None;
+    for i in 0..steps {
+        if i == steps / 2 {
+            let snap = soak.rec.snapshot();
+            checkpoint = Some((snap, soak.rec.events_recorded()));
+        }
+        // A crash roughly every 90 steps, restarted ~10 steps later.
+        if i % 90 == 40 && soak.rec.system().x_alive() {
+            soak.rec.apply(Event::CrashX);
+        }
+        if i % 90 == 50 && !soak.rec.system().x_alive() {
+            let _ = soak.rec.apply(Event::RestartX);
+        }
+        soak.step();
+    }
+    if !soak.rec.system().x_alive() {
+        let _ = soak.rec.apply(Event::RestartX);
+    }
+    let (snap, at) = checkpoint.expect("steps / 2 reached");
+    let (recorded, log) = soak.rec.finish();
+    (recorded, log, snap, at)
+}
+
+#[test]
+fn faulted_soak_replays_byte_identically_from_boot() {
+    let (recorded, log, _, _) = record_soak(42, 220);
+    let replayed = replay(&log).expect("replay boots");
+    assert_eq!(
+        replayed.state_hash(),
+        recorded.state_hash(),
+        "state hash diverged on replay from boot"
+    );
+    assert_eq!(
+        replayed.trace_dump(),
+        recorded.trace_dump(),
+        "trace diverged on replay from boot"
+    );
+    assert_eq!(replayed.kernel().snapshot_stats().replay_divergence, 0);
+
+    // The serialized log replays identically too — what CI ships around.
+    let decoded = EventLog::from_bytes(&log.to_bytes()).expect("log round-trip");
+    let replayed = replay(&decoded).expect("replay boots");
+    assert_eq!(replayed.state_hash(), recorded.state_hash());
+}
+
+#[test]
+fn faulted_soak_replays_byte_identically_from_mid_run_snapshot() {
+    let (recorded, log, snap, at) = record_soak(42, 220);
+    let resumed = replay_from(&snap, log.suffix(at), log.final_state_hash).expect("restore");
+    assert_eq!(
+        resumed.state_hash(),
+        recorded.state_hash(),
+        "state hash diverged on replay from the snapshot"
+    );
+    assert_eq!(
+        resumed.trace_dump(),
+        recorded.trace_dump(),
+        "trace diverged on replay from the snapshot"
+    );
+    assert_eq!(resumed.kernel().snapshot_stats().replay_divergence, 0);
+
+    // The snapshot survives its own serialization.
+    let decoded = Snapshot::from_bytes(&snap.to_bytes()).expect("snapshot round-trip");
+    let resumed = replay_from(&decoded, log.suffix(at), log.final_state_hash).expect("restore");
+    assert_eq!(resumed.state_hash(), recorded.state_hash());
+}
+
+#[test]
+fn second_seed_replays_byte_identically_both_ways() {
+    let (recorded, log, snap, at) = record_soak(20_260_805, 180);
+    let replayed = replay(&log).expect("replay boots");
+    assert_eq!(replayed.state_hash(), recorded.state_hash());
+    assert_eq!(replayed.trace_dump(), recorded.trace_dump());
+    let resumed = replay_from(&snap, log.suffix(at), log.final_state_hash).expect("restore");
+    assert_eq!(resumed.state_hash(), recorded.state_hash());
+    assert_eq!(resumed.trace_dump(), recorded.trace_dump());
+}
+
+#[test]
+fn divergence_is_detected_not_masked() {
+    // Tamper with the recorded hash: the replay machinery must notice and
+    // count it on the kernel gauge rather than silently passing.
+    let (_, mut log, snap, at) = record_soak(7, 60);
+    let truth = log.final_state_hash.unwrap();
+    log.final_state_hash = Some(truth ^ 0xdead_beef);
+    let replayed = replay(&log).expect("replay boots");
+    assert_eq!(replayed.kernel().snapshot_stats().replay_divergence, 1);
+    let resumed = replay_from(&snap, log.suffix(at), log.final_state_hash).expect("restore");
+    assert_eq!(resumed.kernel().snapshot_stats().replay_divergence, 1);
+}

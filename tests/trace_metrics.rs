@@ -224,6 +224,54 @@ fn metrics_page_matches_the_legacy_stats_structs() {
     );
 }
 
+#[test]
+fn snapshot_counters_reach_the_metrics_page() {
+    let mut system = System::new(traced_config());
+    run_workload(&mut system);
+
+    // Before any checkpoint, every snapshot series renders as zero.
+    let page = system.metrics();
+    assert_eq!(metric(&page, "overhaul_snapshot_bytes_total"), 0);
+    assert_eq!(
+        metric(&page, "overhaul_restore_rebuild_verdict_cache_total"),
+        0
+    );
+    assert_eq!(
+        metric(&page, "overhaul_restore_rebuild_dup_suppress_total"),
+        0
+    );
+    assert_eq!(metric(&page, "overhaul_replay_divergence_total"), 0);
+
+    // Checkpoint, diverge, roll back: the page must account for the bytes
+    // exported and for every derived structure the restore rebuilt.
+    let snap = system.snapshot();
+    system.advance(SimDuration::from_secs(1));
+    system.restore(&snap).expect("restore");
+    system.kernel_mut().note_replay_divergence();
+
+    let page = system.metrics();
+    let stats = system.kernel().snapshot_stats();
+    assert_eq!(
+        metric(&page, "overhaul_snapshot_bytes_total"),
+        stats.snapshot_bytes
+    );
+    assert_eq!(stats.snapshot_bytes, snap.state().len() as u64);
+    assert_eq!(
+        metric(&page, "overhaul_restore_rebuild_verdict_cache_total"),
+        stats.restore_rebuild_verdict_cache
+    );
+    assert_eq!(stats.restore_rebuild_verdict_cache, 1);
+    assert_eq!(
+        metric(&page, "overhaul_restore_rebuild_dup_suppress_total"),
+        stats.restore_rebuild_dup_suppress
+    );
+    assert!(
+        stats.restore_rebuild_dup_suppress >= 1,
+        "the live channel connection's suppression set was rebuilt"
+    );
+    assert_eq!(metric(&page, "overhaul_replay_divergence_total"), 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
