@@ -236,6 +236,22 @@ fn main() {
 
     let ratio = wire / hit;
     let overhead = (tracing_ratio - 1.0) * 100.0;
+
+    let artifact = overhaul_sim::BenchArtifact::new("decision_path")
+        .text("mode", mode)
+        .int("tasks", TASKS as u64)
+        .num("engine_eval_ns", eval)
+        .num("traced_miss_ns", miss)
+        .num("traced_hit_ns", hit)
+        .num("wire_query_ns", wire)
+        .num("hit_tracing_ns", hit_traced)
+        .num("wire_vs_hit_ratio", ratio)
+        .num("tracing_overhead_pct", overhead);
+    match artifact.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write bench artifact: {e}"),
+    }
+
     println!("\ncached in-kernel decision vs uncached wire query: {ratio:.1}x");
     println!("span-tracing overhead on the cached path (median of paired rounds): {overhead:.1}%");
     if quick {

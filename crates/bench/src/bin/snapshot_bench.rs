@@ -195,6 +195,26 @@ fn main() {
         log.events.len() as f64 / replay_best
     );
 
+    let artifact = overhaul_sim::BenchArtifact::new("snapshot")
+        .text("mode", mode)
+        .int("events", log.events.len() as u64)
+        .int("state_bytes", snap.state().len() as u64)
+        .int("aux_bytes", snap.aux().len() as u64)
+        .num("state_hash_ns", hash)
+        .num("checkpoint_ns", checkpoint)
+        .num("restore_ns", restore)
+        .num("serialize_ns", serialize)
+        .num("parse_ns", parse)
+        .num("replay_ms", replay_best * 1_000.0)
+        .num(
+            "replay_events_per_sec",
+            log.events.len() as f64 / replay_best,
+        );
+    match artifact.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+
     if quick {
         let restored_hash = System::from_snapshot(&snap).expect("restore").state_hash();
         assert_eq!(

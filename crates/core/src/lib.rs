@@ -57,3 +57,17 @@ pub use link::NetlinkMonitorLink;
 pub use replay::{apply_event, replay, replay_from, ApplyOutcome, Event, EventLog, Recorder};
 pub use system::{BootError, Gui, System};
 pub use user::{AttentionProfile, NoticeOutcome, SimulatedUser};
+
+/// Compile-time `Send` audit: `assert_send::<T>()` only type-checks if `T`
+/// can move across threads. The fleet harness runs whole [`System`]s on
+/// worker threads, so `System` being `Send` is a load-bearing API
+/// guarantee, asserted below (and re-asserted in `overhaul-fleet`) so a
+/// refactor that smuggles in an `Rc`/`RefCell` fails at compile time, not
+/// in a soak run.
+pub const fn assert_send<T: Send>() {}
+
+const _: () = {
+    assert_send::<System>();
+    assert_send::<EventLog>();
+    assert_send::<OverhaulConfig>();
+};

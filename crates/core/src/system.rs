@@ -315,6 +315,13 @@ impl System {
         self.kernel.render_metrics()
     }
 
+    /// The unified metrics as a structured registry (the same data behind
+    /// [`System::metrics`]). Fleet harnesses merge these across shards
+    /// instead of re-parsing rendered pages.
+    pub fn metrics_registry(&self) -> overhaul_sim::MetricsRegistry {
+        self.kernel.metrics_registry()
+    }
+
     /// The display-manager audit log.
     pub fn x_audit(&self) -> &AuditLog {
         self.x.audit()

@@ -1,0 +1,211 @@
+//! Fleet soak driver: hundreds of supervised shards under chaos.
+//!
+//! ```text
+//! cargo run --release -p overhaul-fleet --bin fleet_soak [-- --quick] \
+//!     [--shards N] [--seed S]
+//! ```
+//!
+//! Runs `N` independently-seeded shards (default 256; 64 under
+//! `--quick`, the CI mode) through randomized workload + fault + chaos
+//! schedules: injected panics, virtual-time stalls, wall-clock spins,
+//! seeded channel/VFS faults, and scheduled X crashes. The run must
+//! complete without aborting; every failure is reported as a bisectable
+//! `(seed, sealed event log, last-good snapshot)` triple; and the driver
+//! then *verifies each triple* by replaying it from boot, from the
+//! snapshot, and through a serialization round-trip — demanding the
+//! byte-identical pre-failure state hash every time. A dedicated
+//! forced-panic shard proves the containment + shrink + replay pipeline
+//! end to end even when the probabilistic chaos draws no panic.
+//!
+//! Exit status is non-zero on any unexplained divergence, any triple
+//! that fails to reproduce, or a missing forced-panic reproduction.
+//! Writes `BENCH_fleet.json` with the headline fleet numbers.
+
+use std::collections::BTreeMap;
+
+use overhaul_fleet::{
+    replay_triple, replay_triple_from_snapshot, run_fleet, shrink_triple, ChaosSpec, FailureKind,
+    FailureTriple, FleetConfig, FleetWorkload, ShardBeat, ShardPlan,
+};
+use overhaul_sim::BenchArtifact;
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let shards = arg_value("--shards").unwrap_or(if quick { 64 } else { 256 }) as usize;
+    let seed = arg_value("--seed").unwrap_or(0xf1ee7);
+    let mode = if quick { "quick" } else { "full" };
+
+    let workload = FleetWorkload {
+        steps: if quick { 60 } else { 120 },
+        chaos: ChaosSpec::soak(),
+        ..FleetWorkload::default()
+    };
+    let config = FleetConfig {
+        master_seed: seed,
+        shards,
+        workload,
+        // The soak must see every shard: the budget only exists to prove
+        // graceful degradation elsewhere (tests); here it is the fleet
+        // size itself.
+        failure_budget: shards,
+        shrink_replays: if quick { 60 } else { 200 },
+        ..FleetConfig::default()
+    };
+
+    println!("fleet soak ({mode}): {shards} shards, master seed {seed:#x}, chaos = soak\n");
+    let report = run_fleet(&config);
+
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in &report.failures {
+        *by_kind.entry(f.triple.kind.label()).or_insert(0) += 1;
+    }
+    println!(
+        "{} ok, {} failed, {} skipped{} in {:.2}s ({:.1} shards/s, {:.1} machine-hours/wall-hour)",
+        report.ok,
+        report.failed,
+        report.skipped,
+        if report.degraded { " [DEGRADED]" } else { "" },
+        report.wall.as_secs_f64(),
+        report.shards_per_sec(),
+        report.machine_hours_per_wall_hour(),
+    );
+    println!(
+        "{} events applied, {:.1} virtual machine-hours simulated",
+        report.events_total,
+        report.sim_ms_total as f64 / 3_600_000.0
+    );
+    for (kind, n) in &by_kind {
+        println!("  failure kind {kind}: {n}");
+    }
+
+    // Verify every reported triple: from boot, from the last-good
+    // snapshot, and through a byte round-trip — all three must reproduce
+    // the identical pre-failure state hash.
+    let mut bad = 0usize;
+    for f in &report.failures {
+        let t = &f.triple;
+        let from_boot = replay_triple(t);
+        let from_snap = replay_triple_from_snapshot(t);
+        let decoded = match FailureTriple::from_bytes(&t.to_bytes()) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("  shard {}: triple did not round-trip: {e:?}", t.index);
+                bad += 1;
+                continue;
+            }
+        };
+        let from_bytes = replay_triple(&decoded);
+        let ok = from_boot.is_reproduced() && from_snap == from_boot && from_bytes == from_boot;
+        if !ok {
+            println!(
+                "  shard {} ({}): NOT reproduced — boot {from_boot:?}, snap {from_snap:?}, \
+                 bytes {from_bytes:?}",
+                t.index,
+                t.kind.label()
+            );
+            bad += 1;
+        } else {
+            println!(
+                "  shard {:>4} seed {:#018x} {:<16} events {:>3} -> {:<3} replay OK",
+                t.index,
+                t.seed,
+                t.kind.label(),
+                f.original_events,
+                f.shrunk_events
+            );
+        }
+    }
+
+    let divergences = by_kind.get("divergence").copied().unwrap_or(0);
+
+    // Forced injected-panic shard: even if the probabilistic chaos drew no
+    // panic this seed, prove containment -> triple -> shrink -> replay.
+    overhaul_fleet::quiet_injected_panics();
+    let mut forced = ShardPlan::derive(seed ^ 0xdead_beef, shards, &config.workload);
+    forced.chaos.panic_at = Some(config.workload.steps / 2);
+    forced.chaos.stall_at = None;
+    forced.chaos.spin_at = None;
+    let forced_report = std::thread::Builder::new()
+        .name("overhaul-shard-forced".into())
+        .spawn(move || overhaul_fleet::run_shard(&forced, &ShardBeat::new()))
+        .expect("spawn forced shard")
+        .join()
+        .expect("forced shard thread");
+    let forced_ok = match forced_report.outcome {
+        overhaul_fleet::ShardOutcome::Failed(triple)
+            if matches!(triple.kind, FailureKind::Panic { .. }) =>
+        {
+            let shrunk = shrink_triple(&triple, config.shrink_replays);
+            let repro = replay_triple(&shrunk.triple);
+            println!(
+                "\nforced panic shard: contained, events {} -> {}, replay {}",
+                shrunk.original_events,
+                shrunk.shrunk_events,
+                if repro.is_reproduced() {
+                    "OK"
+                } else {
+                    "FAILED"
+                }
+            );
+            repro.is_reproduced() && replay_triple_from_snapshot(&shrunk.triple).is_reproduced()
+        }
+        other => {
+            println!("\nforced panic shard did not fail as a panic: {other:?}");
+            false
+        }
+    };
+
+    let artifact = BenchArtifact::new("fleet")
+        .text("mode", mode)
+        .int("shards", report.shards as u64)
+        .int("ok", report.ok as u64)
+        .int("failed", report.failed as u64)
+        .int("skipped", report.skipped as u64)
+        .int("events_total", report.events_total)
+        .int("sim_ms_total", report.sim_ms_total)
+        .num("wall_s", report.wall.as_secs_f64())
+        .num("shards_per_sec", report.shards_per_sec())
+        .num(
+            "machine_hours_per_wall_hour",
+            report.machine_hours_per_wall_hour(),
+        )
+        .int("divergences", divergences as u64)
+        .int("triples_not_reproduced", bad as u64);
+    match artifact.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+
+    let mut failed_run = false;
+    if divergences > 0 {
+        println!("FAIL: {divergences} unexplained replay divergences");
+        failed_run = true;
+    }
+    if bad > 0 {
+        println!("FAIL: {bad} failure triples did not reproduce on replay");
+        failed_run = true;
+    }
+    if !forced_ok {
+        println!("FAIL: forced injected-panic shard did not yield a replayable triple");
+        failed_run = true;
+    }
+    if report.degraded {
+        println!("FAIL: soak fleet degraded (budget was the fleet size — a scheduling bug)");
+        failed_run = true;
+    }
+    if failed_run {
+        std::process::exit(1);
+    }
+    println!(
+        "\nOK: {} shards supervised, {} failures all bisectable and replay-exact, 0 divergences",
+        report.shards, report.failed
+    );
+}

@@ -1,0 +1,353 @@
+//! The fleet: a worker pool of supervised shards plus aggregation.
+//!
+//! [`run_fleet`] derives one decorrelated [`ShardPlan`] per shard index,
+//! runs them on a named worker pool, supervises wall-clock progress
+//! (cancelling shards whose heartbeat stalls), enforces a failure budget
+//! (past it the fleet stops claiming new shards instead of aborting),
+//! shrinks every failure triple, and merges per-shard Prometheus pages
+//! into a single fleet registry with shard/failure counters on top.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use overhaul_sim::MetricsRegistry;
+
+use crate::schedule::{FleetWorkload, ShardPlan};
+use crate::shard::{quiet_injected_panics, run_shard, ShardBeat, ShardOutcome, ShardReport};
+use crate::shrink::{shrink_triple, ShrinkReport};
+
+/// Fleet-level knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master seed every shard seed streams from.
+    pub master_seed: u64,
+    /// Number of shards to run.
+    pub shards: usize,
+    /// Worker threads (`0` = one per available core, capped at 16).
+    pub workers: usize,
+    /// Per-shard workload shape.
+    pub workload: FleetWorkload,
+    /// Failures tolerated before the fleet degrades (stops claiming new
+    /// shards). Shards already running still finish and report.
+    pub failure_budget: usize,
+    /// Whether to shrink failure triples after the run.
+    pub shrink: bool,
+    /// Replay budget per shrink.
+    pub shrink_replays: usize,
+    /// Supervisor poll interval.
+    pub stall_poll: Duration,
+    /// Wall time without heartbeat progress before a shard is cancelled.
+    pub stall_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            master_seed: 0,
+            shards: 256,
+            workers: 0,
+            workload: FleetWorkload::default(),
+            failure_budget: 64,
+            shrink: true,
+            shrink_replays: 200,
+            stall_poll: Duration::from_millis(20),
+            stall_timeout: Duration::from_millis(400),
+        }
+    }
+}
+
+impl FleetConfig {
+    fn worker_count(&self) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let chosen = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        chosen.clamp(1, self.shards.max(1))
+    }
+}
+
+/// What a whole fleet run produced.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Shards requested.
+    pub shards: usize,
+    /// Shards that completed cleanly (self-replay verified).
+    pub ok: usize,
+    /// Shards that failed (each carries a triple below).
+    pub failed: usize,
+    /// Shards never started because the failure budget ran out.
+    pub skipped: usize,
+    /// Whether the failure budget was exhausted.
+    pub degraded: bool,
+    /// Every failure, shrunk (or passed through when shrinking is off or
+    /// inapplicable), sorted by shard index.
+    pub failures: Vec<ShrinkReport>,
+    /// Events applied across all shards.
+    pub events_total: u64,
+    /// Virtual milliseconds simulated across all shards.
+    pub sim_ms_total: u64,
+    /// Merged fleet metrics (per-shard registries + fleet counters).
+    pub metrics: MetricsRegistry,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// The fleet Prometheus page.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render()
+    }
+
+    /// Shards simulated per wall-clock second.
+    pub fn shards_per_sec(&self) -> f64 {
+        self.shards_attempted() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Virtual machine-hours simulated per wall-clock hour (the fleet's
+    /// time-compression factor).
+    pub fn machine_hours_per_wall_hour(&self) -> f64 {
+        (self.sim_ms_total as f64 / 3_600_000.0) / (self.wall.as_secs_f64() / 3_600.0).max(1e-12)
+    }
+
+    fn shards_attempted(&self) -> usize {
+        self.ok + self.failed
+    }
+}
+
+/// Runs the whole fleet and aggregates. See [`FleetConfig`] for knobs.
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    quiet_injected_panics();
+    let start = Instant::now();
+
+    let plans: Vec<ShardPlan> = (0..config.shards)
+        .map(|i| ShardPlan::derive(config.master_seed, i, &config.workload))
+        .collect();
+    let beats: Vec<Arc<ShardBeat>> = (0..config.shards)
+        .map(|_| Arc::new(ShardBeat::new()))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let failures_seen = AtomicUsize::new(0);
+    let workers_live = AtomicUsize::new(config.worker_count());
+    let degraded = AtomicBool::new(false);
+    let reports: Mutex<Vec<ShardReport>> = Mutex::new(Vec::with_capacity(config.shards));
+
+    std::thread::scope(|s| {
+        for w in 0..config.worker_count() {
+            let plans = &plans;
+            let beats = &beats;
+            let next = &next;
+            let failures_seen = &failures_seen;
+            let workers_live = &workers_live;
+            let degraded = &degraded;
+            let reports = &reports;
+            std::thread::Builder::new()
+                // The "overhaul-shard-" prefix opts these threads into the
+                // quiet panic hook: contained shard panics do not spew.
+                .name(format!("overhaul-shard-worker-{w}"))
+                .spawn_scoped(s, move || {
+                    loop {
+                        if failures_seen.load(Ordering::Relaxed) >= config.failure_budget {
+                            degraded.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= plans.len() {
+                            break;
+                        }
+                        let report = run_shard(&plans[idx], &beats[idx]);
+                        if !report.outcome.is_ok() {
+                            failures_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reports.lock().unwrap().push(report);
+                    }
+                    workers_live.fetch_sub(1, Ordering::Relaxed);
+                })
+                .expect("spawn fleet worker");
+        }
+
+        // The calling thread is the wall-clock supervisor: any active
+        // shard whose heartbeat does not move for `stall_timeout` gets a
+        // cancel (the spin chaos op, or a genuinely wedged shard).
+        let mut last_seen: Vec<(u64, Instant)> = beats
+            .iter()
+            .map(|b| (b.progress(), Instant::now()))
+            .collect();
+        while workers_live.load(Ordering::Relaxed) > 0 {
+            std::thread::sleep(config.stall_poll);
+            let now = Instant::now();
+            for (i, beat) in beats.iter().enumerate() {
+                if !beat.is_active() {
+                    last_seen[i] = (beat.progress(), now);
+                    continue;
+                }
+                let progress = beat.progress();
+                if progress != last_seen[i].0 {
+                    last_seen[i] = (progress, now);
+                } else if now.duration_since(last_seen[i].1) >= config.stall_timeout {
+                    beat.request_cancel();
+                }
+            }
+        }
+    });
+
+    let mut reports = reports.into_inner().unwrap();
+    reports.sort_by_key(|r| r.index);
+
+    let mut metrics = MetricsRegistry::new();
+    let mut failures = Vec::new();
+    let mut ok = 0usize;
+    let mut events_total = 0u64;
+    let mut sim_ms_total = 0u64;
+    for report in &reports {
+        metrics.merge(&report.metrics);
+        events_total += report.events as u64;
+        sim_ms_total += report.sim_ms;
+        match &report.outcome {
+            ShardOutcome::Ok { .. } => ok += 1,
+            ShardOutcome::Failed(triple) => {
+                let shrunk = if config.shrink {
+                    shrink_triple(triple, config.shrink_replays)
+                } else {
+                    ShrinkReport::unshrunk((**triple).clone())
+                };
+                failures.push(shrunk);
+            }
+        }
+    }
+    let failed = failures.len();
+    let skipped = config.shards - reports.len();
+    let degraded = degraded.into_inner() || skipped > 0;
+
+    metrics.set_counter("overhaul_fleet_shards_total", config.shards as u64);
+    metrics.set_counter("overhaul_fleet_shards_ok_total", ok as u64);
+    metrics.set_counter("overhaul_fleet_shards_failed_total", failed as u64);
+    metrics.set_counter("overhaul_fleet_shards_skipped_total", skipped as u64);
+    metrics.set_counter("overhaul_fleet_events_total", events_total);
+    metrics.set_counter("overhaul_fleet_sim_ms_total", sim_ms_total);
+    metrics.set_gauge("overhaul_fleet_degraded", i64::from(degraded));
+    for shrunk in &failures {
+        metrics.add_counter(
+            &format!(
+                "overhaul_fleet_failures_total{{kind=\"{}\"}}",
+                shrunk.triple.kind.label()
+            ),
+            1,
+        );
+    }
+
+    FleetReport {
+        shards: config.shards,
+        ok,
+        failed,
+        skipped,
+        degraded,
+        failures,
+        events_total,
+        sim_ms_total,
+        metrics,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::replay_triple;
+    use crate::schedule::ChaosSpec;
+
+    #[test]
+    fn small_clean_fleet_all_ok() {
+        let config = FleetConfig {
+            master_seed: 7,
+            shards: 8,
+            workload: FleetWorkload {
+                steps: 40,
+                ..FleetWorkload::default()
+            },
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.ok, 8, "failures: {:?}", report.failures);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.degraded);
+        assert_eq!(report.metrics.counter("overhaul_fleet_shards_ok_total"), 8);
+        assert!(report.events_total > 0);
+        // Merged per-shard kernel counters survive into the fleet page.
+        assert!(
+            report
+                .metrics
+                .counter("overhaul_monitor_notifications_total")
+                > 0
+        );
+        assert!(report
+            .render_metrics()
+            .contains("overhaul_fleet_shards_total 8"));
+    }
+
+    #[test]
+    fn chaotic_fleet_contains_failures_and_every_triple_replays() {
+        let config = FleetConfig {
+            master_seed: 42,
+            shards: 24,
+            workload: FleetWorkload {
+                steps: 50,
+                chaos: ChaosSpec {
+                    panic_p: 0.3,
+                    stall_p: 0.2,
+                    spin_p: 0.0,
+                    fault_intensity: 0.5,
+                },
+                ..FleetWorkload::default()
+            },
+            shrink_replays: 40,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert!(report.failed > 0, "chaos fleet produced no failures");
+        assert_eq!(report.ok + report.failed + report.skipped, report.shards);
+        for shrunk in &report.failures {
+            let repro = replay_triple(&shrunk.triple);
+            assert!(
+                repro.is_reproduced(),
+                "shard {} triple did not reproduce: {repro:?}",
+                shrunk.triple.index
+            );
+        }
+    }
+
+    #[test]
+    fn failure_budget_degrades_gracefully() {
+        let config = FleetConfig {
+            master_seed: 9,
+            shards: 16,
+            workers: 2,
+            failure_budget: 2,
+            shrink: false,
+            workload: FleetWorkload {
+                steps: 30,
+                chaos: ChaosSpec {
+                    panic_p: 1.0, // every shard panics
+                    stall_p: 0.0,
+                    spin_p: 0.0,
+                    fault_intensity: 0.0,
+                },
+                ..FleetWorkload::default()
+            },
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert!(report.degraded, "budget of 2 with all-panic shards");
+        assert!(report.skipped > 0, "degraded fleet must skip shards");
+        assert!(report.failed >= 2);
+        assert_eq!(report.metrics.gauge("overhaul_fleet_degraded"), 1);
+        assert_eq!(report.ok + report.failed + report.skipped, report.shards);
+    }
+}

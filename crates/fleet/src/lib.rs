@@ -1,0 +1,66 @@
+//! Fleet-scale chaos harness: many supervised [`System`]s in parallel.
+//!
+//! The paper evaluates Overhaul one machine at a time; the roadmap's north
+//! star is fleet scale — thousands of independently-seeded machines driven
+//! through randomized workload + fault + attack schedules at once. This
+//! crate is the robustness layer that makes such a fleet *survivable and
+//! debuggable*:
+//!
+//! * **Decorrelated shards.** Every shard's workload/fault seed comes from
+//!   a dedicated splitmix stream off the master seed
+//!   ([`overhaul_sim::SimRng::stream_seed`]), so shard schedules do not
+//!   track each other the way naive `seed + i` derivation would.
+//! * **Containment.** Each shard op runs under `catch_unwind`; a panic
+//!   becomes a structured failure, not a torn fleet. A virtual-time
+//!   watchdog declares shards stuck past their progress deadline, and a
+//!   wall-clock supervisor cancels shards that stop making real progress.
+//! * **Graceful degradation.** A configurable failure budget lets the
+//!   fleet keep running, aggregating, and reporting after bad shards
+//!   instead of aborting on the first one.
+//! * **Bisectable failure triples.** Every failure — panic, hang, policy
+//!   violation, replay divergence — is persisted as a
+//!   `(seed, sealed EventLog, last-good snapshot)` triple
+//!   ([`FailureTriple`]): replaying the log reproduces the byte-identical
+//!   `state_hash` at the failure point, from boot or from the snapshot.
+//!   An automatic replay-based shrinker ([`shrink_triple`]) trims the log
+//!   to a minimal reproducer.
+//! * **Fleet metrics.** Per-shard Prometheus registries merge into one
+//!   fleet page ([`FleetReport::metrics`]) with shard/failure/divergence
+//!   counters on top.
+//!
+//! The `fleet_soak` binary drives all of this from the command line
+//! (`--quick` for CI).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod failure;
+pub mod fleet;
+pub mod schedule;
+pub mod shard;
+pub mod shrink;
+
+pub use failure::{
+    replay_triple, replay_triple_from_snapshot, FailureKind, FailureTriple, Reproduction,
+};
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use schedule::{ChaosOp, ChaosSpec, FleetWorkload, ShardOp, ShardPlan};
+pub use shard::{quiet_injected_panics, run_shard, ShardBeat, ShardOutcome, ShardReport};
+pub use shrink::{shrink_triple, ShrinkReport};
+
+use overhaul_core::{assert_send, EventLog, System};
+use overhaul_sim::Snapshot;
+
+// The harness moves plans, logs, snapshots, and (in principle) whole
+// machines across worker threads. These compile-time audits are the
+// contract: if a refactor smuggles a non-`Send` handle (`Rc`, `RefCell`)
+// into any of them, the fleet crate stops building — long before a soak
+// run could tear.
+const _: () = {
+    assert_send::<System>();
+    assert_send::<EventLog>();
+    assert_send::<Snapshot>();
+    assert_send::<ShardPlan>();
+    assert_send::<ShardReport>();
+    assert_send::<FailureTriple>();
+};

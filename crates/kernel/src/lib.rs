@@ -74,9 +74,7 @@ use crate::ipc::pty::PtyTable;
 use crate::ipc::shm::ShmTable;
 use crate::ipc::unix_socket::SocketTable;
 use crate::mm::MemoryManager;
-use crate::monitor::{
-    AlertRequest, Decision, MonitorConfig, PermissionMonitor, ResourceOp, Verdict,
-};
+use crate::monitor::{AlertRequest, Decision, MonitorConfig, PermissionMonitor, ResourceOp};
 use crate::netlink::{
     ChannelState, ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply,
 };
@@ -1313,6 +1311,14 @@ impl Kernel {
     /// credit-chain saturation, histograms) are then absorbed from the
     /// kernel's persistent registry.
     pub fn render_metrics(&self) -> String {
+        self.metrics_registry().render()
+    }
+
+    /// Builds the unified metrics registry behind [`Kernel::render_metrics`]
+    /// as a value, so callers that aggregate across machines (the fleet
+    /// harness) can [`MetricsRegistry::merge`] registries instead of
+    /// re-parsing rendered text pages.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
         let s = self.monitor.stats();
         reg.set_counter("overhaul_monitor_notifications_total", s.notifications);
@@ -1379,7 +1385,7 @@ impl Kernel {
             snap.replay_divergence as i64,
         );
         reg.absorb(&self.metrics);
-        reg.render()
+        reg
     }
 
     /// Writes an Overhaul procfs node. Superuser only.
@@ -1460,6 +1466,7 @@ fn ensure_parent_dirs(vfs: &mut Vfs, path: &str) -> SysResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::Verdict;
 
     fn kernel() -> Kernel {
         Kernel::new(Clock::new(), KernelConfig::default())

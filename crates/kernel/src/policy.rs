@@ -674,6 +674,7 @@ impl VerdictCache {
 
     /// Stores a freshly evaluated outcome. `delta` must be the threshold
     /// the outcome was evaluated under (see [`Validity::for_trace`]).
+    #[allow(clippy::too_many_arguments)] // the cache key is wide by design
     pub fn store(
         &mut self,
         pid: Pid,

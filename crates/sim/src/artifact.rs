@@ -1,0 +1,183 @@
+//! Machine-readable benchmark artifacts.
+//!
+//! Every perf-bearing binary writes a flat `BENCH_<name>.json` next to
+//! its human-readable table so CI (and the re-anchor reviewers) get a
+//! perf trajectory as data, not prose. The format is deliberately tiny —
+//! one JSON object, insertion-ordered keys, scalar values only — and the
+//! writer is hand-rolled so the bench path stays dependency-free.
+//!
+//! ```
+//! use overhaul_sim::BenchArtifact;
+//! let art = BenchArtifact::new("example")
+//!     .text("mode", "quick")
+//!     .int("iters", 1000)
+//!     .num("per_op_ns", 82.5);
+//! assert_eq!(
+//!     art.to_json(),
+//!     "{\"name\":\"example\",\"mode\":\"quick\",\"iters\":1000,\"per_op_ns\":82.5}"
+//! );
+//! ```
+//!
+//! [`BenchArtifact::write`] honors `OVERHAUL_BENCH_DIR`; otherwise the
+//! file lands in the current directory (the workspace root under
+//! `cargo run`).
+
+use std::path::PathBuf;
+
+/// One scalar field of an artifact.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Num(f64),
+    Int(u64),
+    Text(String),
+}
+
+/// A flat, ordered benchmark result destined for `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    name: String,
+    fields: Vec<(String, Field)>,
+}
+
+impl BenchArtifact {
+    /// Starts an artifact named `name` (becomes both the `name` field and
+    /// the `BENCH_<name>.json` file name).
+    pub fn new(name: &str) -> Self {
+        BenchArtifact {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a float field. Non-finite values serialize as `null`
+    /// (JSON has no NaN/inf).
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), Field::Num(v)));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Field::Int(v)));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn text(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Field::Text(v.to_string())));
+        self
+    }
+
+    /// Renders the artifact as one JSON object, keys in insertion order,
+    /// `name` first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"name\":");
+        push_json_string(&mut out, &self.name);
+        for (key, field) in &self.fields {
+            out.push(',');
+            push_json_string(&mut out, key);
+            out.push(':');
+            match field {
+                Field::Num(v) if v.is_finite() => out.push_str(&format_f64(*v)),
+                Field::Num(_) => out.push_str("null"),
+                Field::Int(v) => out.push_str(&v.to_string()),
+                Field::Text(v) => push_json_string(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// The file name this artifact writes to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Writes `BENCH_<name>.json` (plus a trailing newline) into
+    /// `$OVERHAUL_BENCH_DIR` or the current directory, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("OVERHAUL_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Shortest-roundtrip float formatting, forced to stay JSON-numeric
+/// (Rust's `Display` for floats never emits exponents for the magnitudes
+/// benches produce, and always includes a fractional digit via `{:?}`
+/// when needed — use `{}` and accept integral floats rendering bare).
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_flat_ordered_and_escaped() {
+        let art = BenchArtifact::new("fleet")
+            .text("mode", "quick \"ci\"")
+            .int("shards", 256)
+            .num("shards_per_sec", 12.25)
+            .num("bad", f64::NAN);
+        assert_eq!(
+            art.to_json(),
+            "{\"name\":\"fleet\",\"mode\":\"quick \\\"ci\\\"\",\
+             \"shards\":256,\"shards_per_sec\":12.25,\"bad\":null}"
+        );
+        assert_eq!(art.file_name(), "BENCH_fleet.json");
+    }
+
+    #[test]
+    fn integral_floats_render_bare_but_numeric() {
+        let art = BenchArtifact::new("x").num("v", 3.0);
+        assert_eq!(art.to_json(), "{\"name\":\"x\",\"v\":3}");
+    }
+
+    #[test]
+    fn write_honors_bench_dir_env() {
+        let dir =
+            std::env::temp_dir().join(format!("overhaul-artifact-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Env vars are process-global; serialize against other tests by
+        // scoping the variable to this one write.
+        std::env::set_var("OVERHAUL_BENCH_DIR", &dir);
+        let path = BenchArtifact::new("envtest")
+            .int("a", 1)
+            .write()
+            .expect("write");
+        std::env::remove_var("OVERHAUL_BENCH_DIR");
+        assert_eq!(path, dir.join("BENCH_envtest.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"name\":\"envtest\",\"a\":1}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod audit;
 pub mod fault;
 pub mod ids;
@@ -48,6 +49,7 @@ pub mod time;
 pub mod trace;
 pub mod work;
 
+pub use artifact::BenchArtifact;
 pub use audit::{AuditCategory, AuditEvent, AuditLog};
 pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};

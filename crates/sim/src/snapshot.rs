@@ -886,4 +886,143 @@ mod tests {
         });
         roundtrip(Wrapped(9));
     }
+
+    // -----------------------------------------------------------------
+    // Adversarial bytes: restore is a parser of untrusted input. Whatever
+    // the corruption — bit flips, truncation, lying section lengths — the
+    // decode path must return an error (or a benign value), never panic.
+    // -----------------------------------------------------------------
+
+    /// A value exercising every codec shape: nested collections, strings,
+    /// tagged options, floats, chars, maps with structured values.
+    type Nested = (
+        (Vec<String>, BTreeMap<u32, Vec<u64>>),
+        (Option<(bool, char, f64)>, VecDeque<i64>),
+    );
+
+    fn nested_fixture() -> Nested {
+        (
+            (
+                vec!["mic".into(), "cam δ=2000".into(), String::new()],
+                BTreeMap::from([(1, vec![9u64, 8, 7]), (200, vec![]), (3, vec![u64::MAX])]),
+            ),
+            (
+                Some((true, 'δ', 0.25)),
+                VecDeque::from(vec![-4i64, 0, i64::MAX]),
+            ),
+        )
+    }
+
+    fn nested_snapshot_bytes() -> Vec<u8> {
+        let mut enc = Enc::new();
+        nested_fixture().pack(&mut enc);
+        Snapshot::new(enc.into_bytes(), vec![0xAA, 0xBB]).to_bytes()
+    }
+
+    /// Full decode pipeline on arbitrary bytes; returns instead of
+    /// panicking, or the calling test fails.
+    fn decode_all(bytes: &[u8]) -> Result<Nested, SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        let mut dec = Dec::new(snap.state());
+        let value = Nested::unpack(&mut dec)?;
+        dec.finish()?;
+        Ok(value)
+    }
+
+    #[test]
+    fn every_single_bit_flip_decodes_without_panic() {
+        // Exhaustive over the whole container encoding: each flipped bit
+        // either still parses (flips inside string payloads or hash-free
+        // aux bytes are benign) or errors cleanly.
+        let good = nested_snapshot_bytes();
+        assert!(decode_all(&good).is_ok());
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut evil = good.clone();
+                evil[byte] ^= 1 << bit;
+                let outcome = std::panic::catch_unwind(|| decode_all(&evil).is_ok());
+                assert!(
+                    outcome.is_ok(),
+                    "decode panicked with bit {bit} of byte {byte} flipped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_an_error_not_a_panic() {
+        let good = nested_snapshot_bytes();
+        for cut in 0..good.len() {
+            let outcome = std::panic::catch_unwind(|| decode_all(&good[..cut]));
+            match outcome {
+                Ok(result) => assert!(result.is_err(), "truncation at {cut} accepted"),
+                Err(_) => panic!("decode panicked on truncation at {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_multi_bit_corruption_never_panics() {
+        // Seeded fuzz sweep: 1–16 simultaneous bit flips per round. Rounds
+        // are deterministic (SimRng), so any failure is a stable repro.
+        let good = nested_snapshot_bytes();
+        for round in 0..2_000u64 {
+            let mut rng = crate::rng::SimRng::stream(0x5eed, round);
+            let mut evil = good.clone();
+            let flips = rng.range(1, 17);
+            for _ in 0..flips {
+                let byte = rng.range(0, evil.len() as u64) as usize;
+                let bit = rng.range(0, 8) as u32;
+                evil[byte] ^= 1 << bit;
+            }
+            let outcome = std::panic::catch_unwind(|| decode_all(&evil).is_ok());
+            assert!(outcome.is_ok(), "decode panicked in fuzz round {round}");
+        }
+    }
+
+    #[test]
+    fn section_length_lies_are_rejected() {
+        let good = nested_snapshot_bytes();
+        let state_len_at = SNAPSHOT_MAGIC.len() + 4;
+
+        // State section claims more bytes than the buffer holds.
+        let mut evil = good.clone();
+        evil[state_len_at..state_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Snapshot::from_bytes(&evil), Err(SnapshotError::Truncated));
+
+        // State section claims slightly more than it has: the aux length
+        // field is then read out of stolen bytes — framing must still fail,
+        // not panic.
+        let mut evil = good.clone();
+        let real_len = u64::from_le_bytes(evil[state_len_at..state_len_at + 8].try_into().unwrap());
+        evil[state_len_at..state_len_at + 8].copy_from_slice(&(real_len + 3).to_le_bytes());
+        assert!(Snapshot::from_bytes(&evil).is_err());
+
+        // State section claims zero bytes: everything shifts, trailing
+        // bytes remain. Must be a clean error.
+        let mut evil = good.clone();
+        evil[state_len_at..state_len_at + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(Snapshot::from_bytes(&evil).is_err());
+
+        // A length lie *inside* the state section: first field is the
+        // Vec<String> count. Inflate it.
+        let snap = Snapshot::from_bytes(&good).unwrap();
+        let mut state = snap.state().to_vec();
+        state[..8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let mut dec = Dec::new(&state);
+        assert_eq!(Nested::unpack(&mut dec), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_state_flips_the_canonical_hash() {
+        // Corruption that *does* parse must still be caught one layer up:
+        // the canonical hash over the state section moves.
+        let good = nested_snapshot_bytes();
+        let snap = Snapshot::from_bytes(&good).unwrap();
+        let mut state = snap.state().to_vec();
+        let original_hash = snap.state_hash();
+        *state.last_mut().unwrap() ^= 0x01;
+        let tampered = Snapshot::new(state, snap.aux().to_vec());
+        assert_ne!(tampered.state_hash(), original_hash);
+    }
 }

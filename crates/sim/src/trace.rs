@@ -594,6 +594,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds a *peer* registry into this one, for fleet-level aggregation
+    /// across shards. Counters and histograms accumulate exactly like
+    /// [`MetricsRegistry::absorb`]; gauges **sum** instead of taking the
+    /// other side's value, because across independent shards a gauge like
+    /// `overhaul_trace_spans_live` is a per-machine quantity and the fleet
+    /// total is the meaningful aggregate. Use `absorb` when layering two
+    /// views of the *same* machine, `merge` when combining *different*
+    /// machines.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            self.add_counter(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += *v;
+        }
+        for (name, h) in &other.histograms {
+            let entry = self.histograms.entry(name.clone()).or_default();
+            for (mine, theirs) in entry.buckets.iter_mut().zip(h.buckets.iter()) {
+                *mine += theirs;
+            }
+            entry.sum_ms += h.sum_ms;
+            entry.count += h.count;
+        }
+    }
+
     /// Renders the whole registry as a Prometheus-style text page, sorted
     /// by metric name. Deterministic: same contents ⇒ byte-identical page.
     pub fn render(&self) -> String {
@@ -1010,6 +1035,43 @@ mod tests {
         let h = a.histogram("h_ms").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum_ms(), 30);
+    }
+
+    #[test]
+    fn merge_sums_gauges_across_shards() {
+        // Fleet aggregation: same counters/histograms as absorb, but gauges
+        // from different machines add up instead of overwriting.
+        let mut fleet = MetricsRegistry::new();
+        fleet.add_counter("c_total", 2);
+        fleet.set_gauge("g", 4);
+        fleet.observe_ms("h_ms", 10);
+        let mut shard = MetricsRegistry::new();
+        shard.add_counter("c_total", 3);
+        shard.set_gauge("g", 9);
+        shard.set_gauge("only_shard", -2);
+        shard.observe_ms("h_ms", 20);
+        fleet.merge(&shard);
+        assert_eq!(fleet.counter("c_total"), 5);
+        assert_eq!(fleet.gauge("g"), 13);
+        assert_eq!(fleet.gauge("only_shard"), -2);
+        let h = fleet.histogram("h_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ms(), 30);
+    }
+
+    #[test]
+    fn merge_of_identical_shards_scales_linearly() {
+        let mut shard = MetricsRegistry::new();
+        shard.add_counter("ops_total", 7);
+        shard.set_gauge("live", 3);
+        shard.observe_ms("lat_ms", 5);
+        let mut fleet = MetricsRegistry::new();
+        for _ in 0..4 {
+            fleet.merge(&shard);
+        }
+        assert_eq!(fleet.counter("ops_total"), 28);
+        assert_eq!(fleet.gauge("live"), 12);
+        assert_eq!(fleet.histogram("lat_ms").unwrap().count(), 4);
     }
 
     #[test]

@@ -38,7 +38,7 @@ proptest! {
     fn coverage_is_a_fraction(target in rect_strategy(),
                               covers in prop::collection::vec(rect_strategy(), 0..6)) {
         let c = target.coverage_by(&covers);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&c), "{c}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c), "{}", c);
     }
 
     /// Adding more covering rectangles never decreases coverage.
@@ -112,7 +112,7 @@ proptest! {
         for (index, id) in order.iter().enumerate() {
             let Ok(window) = tree.get(*id) else { continue };
             if window.visible_since().is_some() {
-                prop_assert!(window.mapped(), "{id} visible but unmapped");
+                prop_assert!(window.mapped(), "{} visible but unmapped", id);
             }
             if window.mapped() && window.rect().area() > 0 {
                 let covers: Vec<Rect> = order[index + 1..]
@@ -125,12 +125,16 @@ proptest! {
                 if coverage <= OCCLUSION_LIMIT {
                     prop_assert!(
                         window.visible_since().is_some(),
-                        "{id} unoccluded ({coverage}) but invisible"
+                        "{} unoccluded ({}) but invisible",
+                        id,
+                        coverage
                     );
                 } else {
                     prop_assert!(
                         window.visible_since().is_none(),
-                        "{id} occluded ({coverage}) but visible"
+                        "{} occluded ({}) but visible",
+                        id,
+                        coverage
                     );
                 }
             }

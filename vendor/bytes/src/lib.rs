@@ -1,0 +1,5 @@
+//! Workspace-local placeholder for `bytes`.
+//!
+//! Declared as a dependency by the kernel and xserver crates but not used
+//! by any workspace code; wire encoding goes through the in-tree `Pack`
+//! codec. This empty crate satisfies the dependency offline.

@@ -1,0 +1,126 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`benchmark_group`
+//! surface the repo's benches use, with a simple timed loop instead of
+//! criterion's statistical machinery. Each benchmark runs a short warmup
+//! plus a fixed measured batch and prints mean ns/iter — enough for the
+//! relative baseline-vs-overhaul comparisons the benches exist for, and
+//! fast enough that `cargo bench -- --test` stays cheap in CI.
+
+use std::time::Instant;
+
+/// Re-export so benches can opaque-guard values exactly like criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: std::marker::PhantomData,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints mean ns/iter under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warmup: one small batch so lazy init does not pollute timing.
+        let mut bencher = Bencher {
+            iters: 3,
+            nanos: 0,
+        };
+        f(&mut bencher);
+        // Measured batch.
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            nanos: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.nanos / bencher.iters.max(1);
+        println!("bench {}/{}: {} ns/iter ({} iters)", self.name, id, per_iter, bencher.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; owns the timed loop.
+pub struct Bencher {
+    iters: u64,
+    nanos: u64,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.nanos = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        // warmup (3) + measured (10)
+        assert_eq!(count, 13);
+    }
+}

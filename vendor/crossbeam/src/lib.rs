@@ -1,0 +1,5 @@
+//! Workspace-local placeholder for `crossbeam`.
+//!
+//! Declared as a dependency for future scalability work but not yet used by
+//! any workspace code; the fleet harness uses `std::thread::scope` and
+//! atomics. This empty crate satisfies the dependency offline.

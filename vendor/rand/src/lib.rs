@@ -1,0 +1,123 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The workspace builds offline and hermetic: this crate provides the tiny
+//! slice of the `rand 0.8` API the repo actually uses, with a fixed,
+//! documented algorithm instead of an external dependency. `StdRng` here is
+//! a counter-mode SplitMix64 — draw *n* of seed *s* is `mix(mix(s) + n·γ)` —
+//! which is the reference stream `overhaul_sim::SimRng` is pinned against
+//! (see `crates/sim/src/rng.rs::stream_matches_std_rng`). Determinism is the
+//! point: the same seed produces the same stream on every platform, forever.
+
+/// SplitMix64 increment (the golden-ratio gamma).
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random source yielding raw 64-bit draws.
+pub trait RngCore {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Conversion of raw draws into a typed sample; backs [`Rng::gen`].
+pub trait Sample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform integer in `range` (half-open).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u128;
+        range.start + (u128::from(self.next_u64()) % span) as u64
+    }
+
+    /// A typed uniform sample (`f64` in `[0, 1)`, raw `u64`, fair `bool`).
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{mix, RngCore, SeedableRng, GAMMA};
+
+    /// Counter-mode SplitMix64 generator.
+    ///
+    /// State is just `(seed, pos)`: draw *n* is `mix(mix(seed) + n·γ)`, so
+    /// the stream can be checkpointed and resumed in O(1).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        seed: u64,
+        pos: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { seed: state, pos: 0 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.pos = self.pos.wrapping_add(1);
+            mix(mix(self.seed).wrapping_add(self.pos.wrapping_mul(GAMMA)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn unit_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..64 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The repo annotates public data types with `#[derive(Serialize,
+//! Deserialize)]` to document intent (these types are wire/disk-stable),
+//! but all actual persistence goes through the in-tree `Pack` codec in
+//! `overhaul_sim::snapshot`. This stub keeps the annotations compiling
+//! offline: the traits are markers and the re-exported derives expand to
+//! nothing. No code in the workspace relies on serde-generated impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type's shape is considered serialization-stable.
+pub trait Serialize {}
+
+/// Marker: the type's shape is considered deserialization-stable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker: owned variant of [`Deserialize`].
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

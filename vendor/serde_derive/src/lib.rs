@@ -1,0 +1,18 @@
+//! No-op derive macros for the workspace-local `serde` stub.
+//!
+//! `#[derive(Serialize, Deserialize)]` in this repo documents that a type's
+//! shape is persistence-stable; real encoding uses the in-tree `Pack`
+//! codec. These derives therefore expand to nothing — they exist so the
+//! attribute positions compile without the external serde_derive crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
