@@ -8,16 +8,47 @@
 //! the grant-all Overhaul stack, printing measured overheads next to the
 //! paper's. Absolute times are simulator times, not the authors' testbed;
 //! the comparison target is the overhead column.
+//!
+//! Besides the human-readable table, the run emits `BENCH_table1.json`
+//! (one flat object: per-row measured overhead in percent plus the
+//! paper's figure) so CI can diff the perf trajectory against the
+//! committed baseline with `bench_diff`.
 
 use overhaul_bench::table1::{format_table, run_all, Scale};
+use overhaul_sim::BenchArtifact;
+
+/// `"Device Access"` → `"device_access"` for artifact keys.
+fn key_of(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'A'..='Z' => c.to_ascii_lowercase(),
+            ' ' => '_',
+            '+' => 'p',
+            c => c,
+        })
+        .collect()
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mode = if quick { "quick" } else { "full" };
     println!(
-        "Table I reproduction — {} workload\n(paper: Intel i7-930 testbed; here: simulated stack, compare overhead %)\n",
-        if quick { "quick" } else { "full" }
+        "Table I reproduction — {mode} workload\n(paper: Intel i7-930 testbed; here: simulated stack, compare overhead %)\n",
     );
     let rows = run_all(scale);
     println!("{}", format_table(&rows));
+
+    let mut artifact = BenchArtifact::new("table1").text("mode", mode);
+    for row in &rows {
+        let key = key_of(row.name);
+        artifact = artifact
+            .int(&format!("{key}_ops"), row.ops)
+            .num(&format!("{key}_overhead_pct"), row.overhead_pct())
+            .num(&format!("{key}_paper_pct"), row.paper_overhead_pct);
+    }
+    match artifact.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
 }

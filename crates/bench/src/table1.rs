@@ -141,7 +141,7 @@ pub fn device_iter(bench: &mut DeviceBench) {
     kernel.sys_close(bench.pid, fd).expect("close");
     bench.ops += 1;
     if bench.ops.is_multiple_of(AUDIT_CLEAR_INTERVAL) {
-        kernel.audit_mut().clear();
+        kernel.clear_history();
     }
 }
 
@@ -266,8 +266,8 @@ pub fn clipboard_iter(bench: &mut ClipboardBench) {
     }
     bench.ops += 1;
     if bench.ops.is_multiple_of(AUDIT_CLEAR_INTERVAL) {
-        bench.system.kernel_mut().audit_mut().clear();
-        bench.system.xserver_mut().audit_mut().clear();
+        bench.system.kernel_mut().clear_history();
+        bench.system.xserver_mut().clear_history();
     }
 }
 

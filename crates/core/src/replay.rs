@@ -430,6 +430,10 @@ pub struct EventLog {
     pub events: Vec<Event>,
     /// The recorded final [`System::state_hash`], once sealed.
     pub final_state_hash: Option<u64>,
+    /// The recorded final [`System::ledger_head`], once sealed: a replayed
+    /// run must re-land on the identical sealed chain hash, so history
+    /// divergence is caught even when two states coincide.
+    pub final_ledger_head: Option<u64>,
 }
 
 impl EventLog {
@@ -445,6 +449,7 @@ impl EventLog {
         self.config.pack(&mut enc);
         self.events.pack(&mut enc);
         self.final_state_hash.pack(&mut enc);
+        self.final_ledger_head.pack(&mut enc);
         Snapshot::new(enc.into_bytes(), Vec::new()).to_bytes()
     }
 
@@ -460,6 +465,7 @@ impl EventLog {
             config: Pack::unpack(&mut dec)?,
             events: Pack::unpack(&mut dec)?,
             final_state_hash: Pack::unpack(&mut dec)?,
+            final_ledger_head: Pack::unpack(&mut dec)?,
         };
         dec.finish()?;
         Ok(log)
@@ -487,6 +493,7 @@ impl Recorder {
                 config,
                 events: Vec::new(),
                 final_state_hash: None,
+                final_ledger_head: None,
             },
         }
     }
@@ -519,20 +526,26 @@ impl Recorder {
     /// returns the machine alongside it.
     pub fn finish(mut self) -> (System, EventLog) {
         self.log.final_state_hash = Some(self.system.state_hash());
+        self.log.final_ledger_head = Some(self.system.ledger_head());
         (self.system, self.log)
     }
 }
 
-/// Checks a replayed machine against the log's recorded hash, counting a
-/// divergence on mismatch.
-fn check_divergence(system: &mut System, expected: Option<u64>) -> bool {
-    match expected {
-        Some(hash) if system.state_hash() != hash => {
-            system.kernel_mut().note_replay_divergence();
-            true
-        }
-        _ => false,
+/// Checks a replayed machine against the log's recorded state hash and
+/// sealed ledger head, counting a divergence on either mismatch.
+fn check_divergence(
+    system: &mut System,
+    expected: Option<u64>,
+    expected_ledger_head: Option<u64>,
+) -> bool {
+    let state_diverged = matches!(expected, Some(hash) if system.state_hash() != hash);
+    let history_diverged =
+        matches!(expected_ledger_head, Some(head) if system.ledger_head() != head);
+    if state_diverged || history_diverged {
+        system.kernel_mut().note_replay_divergence();
+        return true;
     }
+    false
 }
 
 /// Replays a recorded run from boot: boots a fresh machine with the log's
@@ -549,7 +562,7 @@ pub fn replay(log: &EventLog) -> Result<System, BootError> {
     for event in &log.events {
         apply_event(&mut system, event);
     }
-    check_divergence(&mut system, log.final_state_hash);
+    check_divergence(&mut system, log.final_state_hash, log.final_ledger_head);
     Ok(system)
 }
 
@@ -570,7 +583,7 @@ pub fn replay_from(
     for event in suffix {
         apply_event(&mut system, event);
     }
-    check_divergence(&mut system, expected);
+    check_divergence(&mut system, expected, None);
     Ok(system)
 }
 
@@ -649,6 +662,28 @@ mod tests {
         let replayed = replay(&log).expect("replay boots");
         assert_eq!(replayed.state_hash(), recorded.state_hash());
         assert_eq!(replayed.trace_dump(), recorded.trace_dump());
+    }
+
+    #[test]
+    fn replay_relands_on_the_sealed_ledger_head() {
+        let mut rec = Recorder::new(OverhaulConfig::protected());
+        scripted_workload(&mut rec);
+        let (recorded, log) = rec.finish();
+        assert_eq!(log.final_ledger_head, Some(recorded.ledger_head()));
+        let replayed = replay(&log).expect("replay boots");
+        assert_eq!(replayed.ledger_head(), recorded.ledger_head());
+        assert_eq!(replayed.kernel().snapshot_stats().replay_divergence, 0);
+        replayed.verify_ledgers().expect("replayed chain verifies");
+    }
+
+    #[test]
+    fn divergence_is_counted_on_ledger_head_mismatch() {
+        let mut rec = Recorder::new(OverhaulConfig::protected());
+        scripted_workload(&mut rec);
+        let (_, mut log) = rec.finish();
+        log.final_ledger_head = Some(log.final_ledger_head.unwrap() ^ 1);
+        let replayed = replay(&log).expect("replay boots");
+        assert_eq!(replayed.kernel().snapshot_stats().replay_divergence, 1);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use overhaul_kernel::syscall::OpenMode;
 use overhaul_kernel::{Kernel, XORG_PATH};
 use overhaul_sim::snapshot::{fnv1a64, Dec, Enc, Pack, Snapshot, SnapshotError};
 use overhaul_sim::{
-    AuditCategory, AuditLog, Clock, FaultPlan, Fd, Pid, SimDuration, Timestamp, Tracer,
+    AuditCategory, AuditLog, Clock, ControlPlane, FaultPlan, Fd, Ledger, LedgerError, Pid,
+    SimDuration, Timestamp, Tracer,
 };
 use overhaul_xserver::geometry::{Point, Rect};
 use overhaul_xserver::overlay::Alert;
@@ -328,6 +329,57 @@ impl System {
     }
 
     // ---------------------------------------------------------------
+    // Authoritative ledger
+    // ---------------------------------------------------------------
+
+    /// The kernel's hash-chained ledger (the authoritative history the
+    /// kernel audit log is projected from).
+    pub fn kernel_ledger(&self) -> &Ledger {
+        self.kernel.ledger()
+    }
+
+    /// The display manager's hash-chained ledger.
+    pub fn x_ledger(&self) -> &Ledger {
+        self.x.ledger()
+    }
+
+    /// The machine's sealed chain head: FNV-1a over the kernel and
+    /// display-manager chain heads. Two machines with equal ledger heads
+    /// recorded byte-identical histories.
+    pub fn ledger_head(&self) -> u64 {
+        let mut enc = Enc::new();
+        self.kernel.ledger().head().pack(&mut enc);
+        self.x.ledger().head().pack(&mut enc);
+        fnv1a64(enc.bytes())
+    }
+
+    /// Chain-verifies both component ledgers.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LedgerError`] found in either chain.
+    pub fn verify_ledgers(&self) -> Result<(), LedgerError> {
+        self.kernel.ledger().verify_chain()?;
+        self.x.ledger().verify_chain()
+    }
+
+    /// The kernel's live control-plane state (policy switches, channel
+    /// health, device map, quarantine set) — the reduction target the
+    /// ledger must re-derive.
+    pub fn control_plane(&self) -> ControlPlane {
+        self.kernel.control_plane()
+    }
+
+    /// Re-derives the control-plane state by folding the kernel ledger's
+    /// effects over the boot state. On an uncorrupted machine this is
+    /// byte-identical (same [`ControlPlane::state_hash`]) to
+    /// [`System::control_plane`]: control-plane state is verifiably a
+    /// deterministic reduction of the ledger.
+    pub fn reduce(&self) -> ControlPlane {
+        self.kernel.ledger().reduce(ControlPlane::default())
+    }
+
+    // ---------------------------------------------------------------
     // Process / app lifecycle
     // ---------------------------------------------------------------
 
@@ -539,9 +591,7 @@ impl System {
         // 139 = 128 + SIGSEGV, the classic display-server crash exit.
         let _ = self.kernel.sys_exit(self.x_pid, 139);
         self.x_conn = None;
-        let now = self.clock.now();
-        self.kernel.audit_mut().record(
-            now,
+        self.kernel.record_event(
             AuditCategory::ChannelEvent,
             Some(self.x_pid),
             "display manager crashed; channel severed",
@@ -1069,6 +1119,55 @@ mod tests {
         assert_eq!(stats.snapshot_bytes, snap.state().len() as u64);
         assert_eq!(stats.restore_rebuild_verdict_cache, 1);
         assert!(stats.restore_rebuild_dup_suppress >= 1);
+    }
+
+    #[test]
+    fn control_plane_is_a_reduction_of_the_ledger() {
+        let mut system = System::protected();
+        assert_eq!(
+            system.reduce().state_hash(),
+            system.control_plane().state_hash(),
+            "boot state must already be derivable from the ledger"
+        );
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        let _ = system.open_device(app.pid, "/dev/snd/mic0");
+        system.kernel_mut().attach_device(
+            overhaul_kernel::device::DeviceClass::Camera,
+            "usbcam",
+            "/dev/video9",
+        );
+        system
+            .kernel_mut()
+            .udev_rename_device("/dev/video9", "/dev/video10")
+            .expect("rename");
+        system.crash_x();
+        system.restart_x().expect("restart");
+        system.verify_ledgers().expect("chain verifies");
+        assert_eq!(
+            system.reduce().state_hash(),
+            system.control_plane().state_hash(),
+            "folding ledger effects must re-derive the live control plane"
+        );
+    }
+
+    #[test]
+    fn reduction_survives_a_mid_run_snapshot_restore() {
+        let mut system = System::protected();
+        let app = gui(&mut system, "/usr/bin/recorder", 0);
+        system.click_window(app.window);
+        let _ = system.open_device(app.pid, "/dev/snd/mic0");
+        let snap = system.snapshot();
+        let head = system.ledger_head();
+
+        let restored = System::from_snapshot(&snap).expect("restore");
+        assert_eq!(restored.ledger_head(), head, "snapshot carries the chain");
+        restored.verify_ledgers().expect("restored chain verifies");
+        assert_eq!(
+            restored.reduce().state_hash(),
+            restored.control_plane().state_hash(),
+            "reduction must hold from a mid-run snapshot"
+        );
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub enum FailureKind {
         /// The boot error, stringified.
         message: String,
     },
+    /// The shard's ledger failed [`System::verify_ledgers`] after the
+    /// run: the hash chain over its recorded history is broken.
+    CorruptLedger {
+        /// The chain-verification error, stringified.
+        message: String,
+    },
 }
 
 impl FailureKind {
@@ -64,6 +70,7 @@ impl FailureKind {
             FailureKind::PolicyViolation { .. } => "policy_violation",
             FailureKind::Divergence { .. } => "divergence",
             FailureKind::Boot { .. } => "boot",
+            FailureKind::CorruptLedger { .. } => "corrupt_ledger",
         }
     }
 }
@@ -94,6 +101,10 @@ impl Pack for FailureKind {
                 enc.put_u8(5);
                 message.pack(enc);
             }
+            FailureKind::CorruptLedger { message } => {
+                enc.put_u8(6);
+                message.pack(enc);
+            }
         }
     }
     fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
@@ -114,6 +125,9 @@ impl Pack for FailureKind {
                 got: Pack::unpack(dec)?,
             },
             5 => FailureKind::Boot {
+                message: Pack::unpack(dec)?,
+            },
+            6 => FailureKind::CorruptLedger {
                 message: Pack::unpack(dec)?,
             },
             _ => return Err(SnapshotError::BadValue("failure kind tag")),
@@ -149,6 +163,10 @@ pub struct FailureTriple {
     pub failing_op: Option<ShardOp>,
     /// The shard's virtual progress deadline (needed to re-judge hangs).
     pub virtual_deadline: Timestamp,
+    /// The machine's sealed [`System::ledger_head`] at the failure point
+    /// (0 when the machine never booted), so a reproducer can confirm the
+    /// replayed history, not just the replayed state, is identical.
+    pub chain_head: u64,
 }
 
 impl FailureTriple {
@@ -163,6 +181,7 @@ impl FailureTriple {
         self.snapshot.to_bytes().pack(&mut enc);
         self.failing_op.pack(&mut enc);
         self.virtual_deadline.pack(&mut enc);
+        self.chain_head.pack(&mut enc);
         Snapshot::new(enc.into_bytes(), Vec::new()).to_bytes()
     }
 
@@ -182,6 +201,7 @@ impl FailureTriple {
         let snap_bytes: Vec<u8> = Pack::unpack(&mut dec)?;
         let failing_op = Pack::unpack(&mut dec)?;
         let virtual_deadline = Pack::unpack(&mut dec)?;
+        let chain_head = Pack::unpack(&mut dec)?;
         dec.finish()?;
         Ok(FailureTriple {
             index,
@@ -192,6 +212,7 @@ impl FailureTriple {
             snapshot: Snapshot::from_bytes(&snap_bytes)?,
             failing_op,
             virtual_deadline,
+            chain_head,
         })
     }
 
@@ -403,6 +424,12 @@ fn finish_reproduction(triple: &FailureTriple, mut system: System) -> Reproducti
                 },
             }
         }
+        // A broken chain cannot be re-executed: replay rebuilds a fresh,
+        // valid history, so reaching the sealed hash is the reproduction
+        // (same rationale as wall hangs).
+        FailureKind::CorruptLedger { .. } => Reproduction::Reproduced {
+            state_hash: expected,
+        },
         FailureKind::Divergence { .. } | FailureKind::Boot { .. } => unreachable!("handled above"),
     }
 }
@@ -435,7 +462,7 @@ mod tests {
         let snap_idx = rec.events_recorded();
         let snapshot = rec.snapshot();
         rec.apply(Event::Advance(SimDuration::from_secs(3)));
-        let (_, log) = rec.finish();
+        let (system, log) = rec.finish();
         FailureTriple {
             index: 0,
             seed: 42,
@@ -445,6 +472,7 @@ mod tests {
             snapshot,
             failing_op,
             virtual_deadline: Timestamp::from_millis(600_000),
+            chain_head: system.ledger_head(),
         }
     }
 
@@ -463,6 +491,9 @@ mod tests {
         assert_eq!(decoded.failing_op, triple.failing_op);
         assert_eq!(decoded.log.events, triple.log.events);
         assert_eq!(decoded.log.final_state_hash, triple.log.final_state_hash);
+        assert_eq!(decoded.log.final_ledger_head, triple.log.final_ledger_head);
+        assert_eq!(decoded.chain_head, triple.chain_head);
+        assert_ne!(triple.chain_head, 0, "a booted shard seals a real head");
         assert_eq!(
             decoded.snapshot.to_bytes(),
             triple.snapshot.to_bytes(),
@@ -510,6 +541,22 @@ mod tests {
             Reproduction::HashMismatch { .. } => {}
             other => panic!("expected HashMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_ledger_triple_round_trips_and_reproduces() {
+        let triple = sealed_triple(
+            FailureKind::CorruptLedger {
+                message: "chain hash mismatch at seq 7".into(),
+            },
+            None,
+        );
+        let decoded = FailureTriple::from_bytes(&triple.to_bytes()).expect("decode");
+        assert_eq!(decoded.kind, triple.kind);
+        assert_eq!(decoded.kind.label(), "corrupt_ledger");
+        let from_boot = replay_triple(&triple);
+        assert!(from_boot.is_reproduced(), "from boot: {from_boot:?}");
+        assert_eq!(from_boot, replay_triple_from_snapshot(&triple));
     }
 
     #[test]

@@ -177,6 +177,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         config: plan.config.clone(),
         events: Vec::new(),
         final_state_hash: None,
+        final_ledger_head: None,
     };
     // Last-good checkpoint: starts at the boot state (zero events).
     let mut last_good = system.snapshot();
@@ -227,12 +228,14 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
             other => other,
         };
         let pre_hash = system.state_hash();
+        let pre_head = system.ledger_head();
 
         match op {
             ShardOp::Chaos(ChaosOp::Panic) => {
                 let payload = panic::catch_unwind(AssertUnwindSafe(|| injected_panic(plan.index)))
                     .expect_err("injected_panic always panics");
                 log.final_state_hash = Some(pre_hash);
+                log.final_ledger_head = Some(pre_head);
                 return failure(
                     plan,
                     &system,
@@ -249,6 +252,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                 // Not recorded: the stall is the fault, not an input.
                 system.advance(jump);
                 log.final_state_hash = Some(pre_hash);
+                log.final_ledger_head = Some(pre_head);
                 return failure(
                     plan,
                     &system,
@@ -268,6 +272,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                     std::hint::spin_loop();
                 }
                 log.final_state_hash = Some(pre_hash);
+                log.final_ledger_head = Some(pre_head);
                 return failure(
                     plan,
                     &system,
@@ -288,6 +293,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                     }
                     Err(payload) => {
                         log.final_state_hash = Some(pre_hash);
+                        log.final_ledger_head = Some(pre_head);
                         return failure(
                             plan,
                             &system,
@@ -315,6 +321,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                                 _ => String::new(),
                             };
                             log.final_state_hash = Some(pre_hash);
+                            log.final_ledger_head = Some(pre_head);
                             return failure(
                                 plan,
                                 &system,
@@ -329,6 +336,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                     }
                     Err(payload) => {
                         log.final_state_hash = Some(pre_hash);
+                        log.final_ledger_head = Some(pre_head);
                         return failure(
                             plan,
                             &system,
@@ -351,6 +359,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         // deadline, so crossing it means a livelock-shaped bug.
         if system.now() > plan.virtual_deadline {
             log.final_state_hash = Some(system.state_hash());
+            log.final_ledger_head = Some(system.ledger_head());
             return failure(
                 plan,
                 &system,
@@ -372,10 +381,29 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         }
     }
 
+    // Chain-verify the run's ledgers before sealing: a shard whose own
+    // recorded history fails verification is its own failure kind.
+    if let Err(e) = system.verify_ledgers() {
+        log.final_state_hash = Some(system.state_hash());
+        log.final_ledger_head = Some(system.ledger_head());
+        return failure(
+            plan,
+            &system,
+            log,
+            snap_idx,
+            last_good,
+            FailureKind::CorruptLedger {
+                message: e.to_string(),
+            },
+            None,
+        );
+    }
+
     // Seal and self-verify: replay the whole log from boot and demand the
     // byte-identical state hash.
     let live_hash = system.state_hash();
     log.final_state_hash = Some(live_hash);
+    log.final_ledger_head = Some(system.ledger_head());
     match replay(&log) {
         Ok(replayed) => {
             let got = replayed.state_hash();
@@ -562,6 +590,9 @@ fn failure(
     if log.final_state_hash.is_none() {
         log.final_state_hash = Some(system.state_hash());
     }
+    if log.final_ledger_head.is_none() {
+        log.final_ledger_head = Some(system.ledger_head());
+    }
     let events = log.events.len();
     let sim_ms = system.now().as_millis();
     let metrics = safe_metrics(system);
@@ -577,6 +608,7 @@ fn failure(
             snapshot,
             failing_op,
             virtual_deadline: plan.virtual_deadline,
+            chain_head: system.ledger_head(),
         })),
         events,
         sim_ms,
@@ -598,11 +630,13 @@ fn boot_failure(plan: &ShardPlan, message: String) -> ShardReport {
                 config: plan.config.clone(),
                 events: Vec::new(),
                 final_state_hash: None,
+                final_ledger_head: None,
             },
             snap_idx: 0,
             snapshot: Snapshot::new(Vec::new(), Vec::new()),
             failing_op: None,
             virtual_deadline: plan.virtual_deadline,
+            chain_head: 0,
         })),
         events: 0,
         sim_ms: 0,
@@ -665,6 +699,8 @@ mod tests {
             ShardOutcome::Ok { .. } => panic!("panic shard completed"),
         };
         assert!(matches!(triple.kind, FailureKind::Panic { .. }));
+        assert_ne!(triple.chain_head, 0, "triple must carry the chain head");
+        assert!(triple.log.final_ledger_head.is_some());
         let boot = replay_triple(&triple);
         assert!(boot.is_reproduced(), "from boot: {boot:?}");
         assert_eq!(boot, replay_triple_from_snapshot(&triple));
@@ -746,6 +782,7 @@ mod tests {
             (ShardOutcome::Failed(x), ShardOutcome::Failed(y)) => {
                 assert_eq!(x.kind, y.kind);
                 assert_eq!(x.log.final_state_hash, y.log.final_state_hash);
+                assert_eq!(x.chain_head, y.chain_head);
             }
             other => panic!("seed-identical shards disagreed: {other:?}"),
         }

@@ -127,10 +127,12 @@ fn reseal(original: &FailureTriple, events: Vec<Event>) -> Option<FailureTriple>
             config,
             events,
             final_state_hash: Some(hash),
+            final_ledger_head: Some(system.ledger_head()),
         },
         snapshot,
         failing_op: original.failing_op.clone(),
         virtual_deadline: original.virtual_deadline,
+        chain_head: system.ledger_head(),
     })
 }
 

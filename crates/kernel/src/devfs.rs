@@ -106,6 +106,16 @@ impl DeviceMap {
             .map(|(p, _)| p.as_str())
     }
 
+    /// Iterates the mapped `(path, device)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, DeviceId)> + '_ {
+        self.by_path.iter().map(|(path, dev)| (path.as_str(), *dev))
+    }
+
+    /// Iterates the quarantined devices in id order.
+    pub fn quarantined_iter(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.quarantined.iter().copied()
+    }
+
     /// Number of mapped paths.
     pub fn len(&self) -> usize {
         self.by_path.len()

@@ -58,11 +58,13 @@ pub mod syscall;
 pub mod task;
 pub mod vfs;
 
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 
 use overhaul_sim::{
-    AuditCategory, AuditLog, ChannelFault, Clock, FaultPlan, MetricsRegistry, Pid, SimDuration,
-    Timestamp, TraceValue, Tracer, Uid,
+    AuditCategory, AuditLog, ChannelFault, ChannelTag, Clock, ConfigKey, ControlPlane, Effect,
+    FaultPlan, Ledger, LedgerEntry, MetricsRegistry, Pid, RuleKind, SimDuration, Timestamp,
+    TraceValue, Tracer, Uid,
 };
 
 use crate::devfs::DeviceMap;
@@ -171,7 +173,10 @@ pub struct Kernel {
     pub(crate) mm: MemoryManager,
     pub(crate) ptys: PtyTable,
     pub(crate) ptrace: PtracePolicy,
-    pub(crate) audit: AuditLog,
+    /// The authoritative hash-chained history. Every audited event and
+    /// every control-plane mutation is appended here as a typed entry; the
+    /// legacy audit log survives as the ledger's rendered projection.
+    pub(crate) ledger: Ledger,
     /// Optional fault plan governing channel faults and boot-time stat
     /// failures. `None` (the default) injects nothing.
     fault: Option<FaultPlan>,
@@ -229,6 +234,25 @@ impl Kernel {
             let _ = ensure_parent_dirs(&mut vfs, path);
             let _ = vfs.create_file(path, Uid::ROOT, 0o755);
         }
+        // Seed the ledger with the boot configuration as silent entries so
+        // a reduction from the genesis head re-derives the control plane of
+        // a freshly booted kernel (state-as-reduction holds from boot).
+        let boot = clock.now();
+        let mut ledger = Ledger::new();
+        for (key, value) in [
+            (
+                ConfigKey::OverhaulEnabled,
+                u64::from(config.overhaul_enabled),
+            ),
+            (
+                ConfigKey::PtraceHardening,
+                u64::from(config.ptrace_hardening),
+            ),
+            (ConfigKey::DeltaMs, config.monitor.delta.as_millis()),
+            (ConfigKey::GrantAll, u64::from(config.monitor.grant_all)),
+        ] {
+            ledger.append(LedgerEntry::silent(boot, Effect::Config { key, value }));
+        }
         Kernel {
             tasks: ProcessTable::new(),
             devices: DeviceRegistry::new(),
@@ -244,7 +268,7 @@ impl Kernel {
             ptrace: PtracePolicy {
                 hardening_enabled: config.ptrace_hardening,
             },
-            audit: AuditLog::new(),
+            ledger,
             fault: None,
             channel_required: false,
             push_buffer: VecDeque::new(),
@@ -287,6 +311,13 @@ impl Kernel {
         self.config.overhaul_enabled = enabled;
         self.mm.set_interpose(enabled);
         self.policy_epoch += 1;
+        self.ledger.append(LedgerEntry::silent(
+            self.clock.now(),
+            Effect::Config {
+                key: ConfigKey::OverhaulEnabled,
+                value: u64::from(enabled),
+            },
+        ));
     }
 
     /// Reconfigures the permission monitor (δ sweeps, grant-all mode).
@@ -294,6 +325,21 @@ impl Kernel {
         self.config.monitor = monitor;
         self.monitor.set_config(monitor);
         self.policy_epoch += 1;
+        let at = self.clock.now();
+        self.ledger.append(LedgerEntry::silent(
+            at,
+            Effect::Config {
+                key: ConfigKey::DeltaMs,
+                value: monitor.delta.as_millis(),
+            },
+        ));
+        self.ledger.append(LedgerEntry::silent(
+            at,
+            Effect::Config {
+                key: ConfigKey::GrantAll,
+                value: u64::from(monitor.grant_all),
+            },
+        ));
     }
 
     /// Reconfigures the shared-memory wait window (ablation sweeps).
@@ -302,14 +348,57 @@ impl Kernel {
         self.mm.set_wait_duration(wait);
     }
 
-    /// The audit log.
+    /// The audit log — the rendered projection of the ledger.
     pub fn audit(&self) -> &AuditLog {
-        &self.audit
+        self.ledger.audit()
     }
 
-    /// Mutable audit log (harnesses append markers).
-    pub fn audit_mut(&mut self) -> &mut AuditLog {
-        &mut self.audit
+    /// The authoritative hash-chained history behind the audit view.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Appends a projected informational entry to the ledger (system
+    /// harness events such as a display-manager crash).
+    pub fn record_event(
+        &mut self,
+        category: AuditCategory,
+        pid: Option<Pid>,
+        detail: impl Into<Cow<'static, str>>,
+    ) {
+        self.ledger
+            .append(LedgerEntry::event(self.clock.now(), category, pid, detail));
+    }
+
+    /// Discards retained ledger entries and the audit projection
+    /// (measurement harnesses bound history growth). The chain head and
+    /// sequence numbering stay monotone across the clear.
+    pub fn clear_history(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// The live control-plane state in the ledger reduction's vocabulary:
+    /// [`Ledger::reduce`] over this kernel's full history must re-derive a
+    /// [`ControlPlane`] whose `state_hash` equals this one's.
+    pub fn control_plane(&self) -> ControlPlane {
+        ControlPlane {
+            overhaul_enabled: self.config.overhaul_enabled,
+            ptrace_hardening: self.ptrace.hardening_enabled,
+            channel_required: self.channel_required,
+            delta_ms: self.config.monitor.delta.as_millis(),
+            grant_all: self.config.monitor.grant_all,
+            channel: channel_tag(self.netlink.state()),
+            devices_by_path: self
+                .device_map
+                .iter()
+                .map(|(path, device)| (path.to_string(), device.as_raw()))
+                .collect(),
+            quarantined: self
+                .device_map
+                .quarantined_iter()
+                .map(DeviceId::as_raw)
+                .collect(),
+        }
     }
 
     /// Read-only view of the process table.
@@ -371,6 +460,13 @@ impl Kernel {
     pub fn set_channel_required(&mut self, required: bool) {
         self.channel_required = required;
         self.policy_epoch += 1;
+        self.ledger.append(LedgerEntry::silent(
+            self.clock.now(),
+            Effect::Config {
+                key: ConfigKey::ChannelRequired,
+                value: u64::from(required),
+            },
+        ));
     }
 
     /// Whether mediation fails closed while the display channel is down.
@@ -398,12 +494,12 @@ impl Kernel {
     pub fn record_interaction_direct(&mut self, pid: Pid, at: Timestamp) -> SysResult<bool> {
         let changed = self.monitor.record_interaction(&mut self.tasks, pid, at)?;
         if changed {
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 at,
                 AuditCategory::InteractionNotification,
                 Some(pid),
                 "interaction recorded in task_struct (integrated DM)",
-            );
+            ));
         }
         Ok(changed)
     }
@@ -465,11 +561,17 @@ impl Kernel {
             .mknod_device(path, device, 0o666)
             .expect("device node path free");
         self.device_map.insert(path, device);
-        self.audit.record(
-            self.clock.now(),
-            AuditCategory::Info,
-            None,
-            format!("udev: attached {class} '{label}' at {path}"),
+        self.ledger.append(
+            LedgerEntry::event(
+                self.clock.now(),
+                AuditCategory::Info,
+                None,
+                format!("udev: attached {class} '{label}' at {path}"),
+            )
+            .with_effect(Effect::DeviceAttached {
+                path: path.to_string(),
+                device: device.as_raw(),
+            }),
         );
         device
     }
@@ -479,11 +581,17 @@ impl Kernel {
     pub fn udev_rename_device(&mut self, old_path: &str, new_path: &str) -> SysResult<()> {
         self.vfs.rename(old_path, new_path)?;
         self.device_map.rename(old_path, new_path);
-        self.audit.record(
-            self.clock.now(),
-            AuditCategory::Info,
-            None,
-            format!("udev: renamed {old_path} -> {new_path} (helper synced)"),
+        self.ledger.append(
+            LedgerEntry::event(
+                self.clock.now(),
+                AuditCategory::Info,
+                None,
+                format!("udev: renamed {old_path} -> {new_path} (helper synced)"),
+            )
+            .with_effect(Effect::DeviceRenamed {
+                old: old_path.to_string(),
+                new: new_path.to_string(),
+            }),
         );
         Ok(())
     }
@@ -492,11 +600,17 @@ impl Kernel {
     /// replaying the event into the kernel map (closing the lag window).
     pub fn device_map_catch_up(&mut self, old_path: &str, new_path: &str) {
         self.device_map.rename(old_path, new_path);
-        self.audit.record(
-            self.clock.now(),
-            AuditCategory::Info,
-            None,
-            format!("udev: helper caught up {old_path} -> {new_path}"),
+        self.ledger.append(
+            LedgerEntry::event(
+                self.clock.now(),
+                AuditCategory::Info,
+                None,
+                format!("udev: helper caught up {old_path} -> {new_path}"),
+            )
+            .with_effect(Effect::DeviceRenamed {
+                old: old_path.to_string(),
+                new: new_path.to_string(),
+            }),
         );
     }
 
@@ -527,11 +641,16 @@ impl Kernel {
             .rename(old_path, new_path)
             .expect("udev rename: source node exists, target path free");
         if self.device_map.revoke(old_path).is_some() {
-            self.audit.record(
-                self.clock.now(),
-                AuditCategory::ChannelEvent,
-                None,
-                format!("devmap: {old_path} revoked; device quarantined pending helper update"),
+            self.ledger.append(
+                LedgerEntry::event(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    None,
+                    format!("devmap: {old_path} revoked; device quarantined pending helper update"),
+                )
+                .with_effect(Effect::DeviceRevoked {
+                    path: old_path.to_string(),
+                }),
             );
         }
         let update = NetlinkMessage::DeviceMapUpdate {
@@ -541,12 +660,12 @@ impl Kernel {
         match self.netlink_send(helper_conn, update) {
             Ok(_) => Ok(()),
             Err(err) => {
-                self.audit.record(
+                self.ledger.append(LedgerEntry::event(
                     self.clock.now(),
                     AuditCategory::ChannelEvent,
                     None,
                     "devmap: helper update lost; device remains quarantined (fail closed)",
-                );
+                ));
                 Err(err)
             }
         }
@@ -561,12 +680,12 @@ impl Kernel {
         new_path: &str,
     ) -> SysResult<()> {
         self.vfs.rename(old_path, new_path)?;
-        self.audit.record(
+        self.ledger.append(LedgerEntry::event(
             self.clock.now(),
             AuditCategory::Info,
             None,
             format!("udev: renamed {old_path} -> {new_path} (helper lagging)"),
-        );
+        ));
         Ok(())
     }
 
@@ -588,39 +707,42 @@ impl Kernel {
     /// the VFS stat backing the introspection (callers may retry).
     pub fn netlink_connect(&mut self, pid: Pid) -> Result<ConnId, NetlinkError> {
         if self.fault.as_ref().is_some_and(|f| f.vfs_stat_fails()) {
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 self.clock.now(),
                 AuditCategory::ChannelEvent,
                 Some(pid),
                 "netlink: VM-map authentication failed transiently (vfs stat fault)",
-            );
+            ));
             return Err(NetlinkError::AuthTransient);
         }
         let reconnects_before = self.netlink.display_reconnects();
         let state_before = self.netlink.state();
         let conn = self.netlink.connect(&self.tasks, &self.vfs, pid)?;
-        self.audit.record(
+        self.ledger.append(LedgerEntry::event(
             self.clock.now(),
             AuditCategory::Info,
             Some(pid),
             "netlink: peer authenticated",
-        );
+        ));
         if self.netlink.is_display(conn) {
             if self.netlink.display_reconnects() > reconnects_before {
                 self.monitor.note_channel_reconnect();
-                self.audit.record(
+                self.ledger.append(LedgerEntry::event(
                     self.clock.now(),
                     AuditCategory::ChannelEvent,
                     Some(pid),
                     "netlink: display channel re-authenticated",
-                );
+                ));
             }
             if state_before != ChannelState::Up {
-                self.audit.record(
-                    self.clock.now(),
-                    AuditCategory::ChannelEvent,
-                    Some(pid),
-                    channel_transition_detail(state_before, ChannelState::Up),
+                self.ledger.append(
+                    LedgerEntry::event(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        Some(pid),
+                        channel_transition_detail(state_before, ChannelState::Up),
+                    )
+                    .with_effect(Effect::Channel { to: ChannelTag::Up }),
                 );
             }
         }
@@ -710,12 +832,12 @@ impl Kernel {
                             ("delay_ms", TraceValue::U64(d.as_millis())),
                         ],
                     );
-                    self.audit.record(
+                    self.ledger.append(LedgerEntry::event(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
                         None,
                         "channel: message delayed in flight",
-                    );
+                    ));
                     break;
                 }
                 ChannelFault::Duplicate => {
@@ -741,12 +863,12 @@ impl Kernel {
                         self.clock.now(),
                         &[("fault", TraceValue::Static("reorder-stash"))],
                     );
-                    self.audit.record(
+                    self.ledger.append(LedgerEntry::event(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
                         None,
                         "channel: notification reordered behind later traffic",
-                    );
+                    ));
                     return Ok(NetlinkReply::Ack);
                 }
                 ChannelFault::Drop | ChannelFault::Reorder => {
@@ -764,20 +886,20 @@ impl Kernel {
                                 ("attempts", TraceValue::U64(u64::from(attempt))),
                             ],
                         );
-                        self.audit.record(
+                        self.ledger.append(LedgerEntry::event(
                             self.clock.now(),
                             AuditCategory::ChannelEvent,
                             None,
                             "channel: message lost after retries; giving up",
-                        );
+                        ));
                         return Err(NetlinkError::ChannelDown);
                     }
-                    self.audit.record(
+                    self.ledger.append(LedgerEntry::event(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
                         None,
                         "channel: message lost in flight; retrying",
-                    );
+                    ));
                     let backoff = SimDuration::from_millis(
                         self.config.channel_retry_backoff.as_millis() << (attempt - 1),
                     );
@@ -825,12 +947,12 @@ impl Kernel {
                 self.clock.now(),
                 &[("seq", TraceValue::U64(seq))],
             );
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 self.clock.now(),
                 AuditCategory::ChannelEvent,
                 None,
                 "channel: duplicate delivery suppressed",
-            );
+            ));
             return Ok(NetlinkReply::Ack);
         }
         match msg {
@@ -838,22 +960,22 @@ impl Kernel {
                 match self.monitor.record_interaction(&mut self.tasks, pid, at) {
                     Ok(changed) => {
                         if changed {
-                            self.audit.record(
+                            self.ledger.append(LedgerEntry::event(
                                 at,
                                 AuditCategory::InteractionNotification,
                                 Some(pid),
                                 "interaction recorded in task_struct",
-                            );
+                            ));
                         }
                     }
                     Err(_) => {
                         // Notification for a pid that died in flight: drop.
-                        self.audit.record(
+                        self.ledger.append(LedgerEntry::event(
                             at,
                             AuditCategory::Info,
                             Some(pid),
                             "interaction notification for dead process dropped",
-                        );
+                        ));
                     }
                 }
                 Ok(NetlinkReply::Ack)
@@ -878,11 +1000,16 @@ impl Kernel {
             // Fail closed: drop (and quarantine) the old mapping before
             // trusting anything about the new path.
             if self.device_map.revoke(old_path).is_some() {
-                self.audit.record(
-                    self.clock.now(),
-                    AuditCategory::ChannelEvent,
-                    None,
-                    "devmap: stale path revoked by helper update",
+                self.ledger.append(
+                    LedgerEntry::event(
+                        self.clock.now(),
+                        AuditCategory::ChannelEvent,
+                        None,
+                        "devmap: stale path revoked by helper update",
+                    )
+                    .with_effect(Effect::DeviceRevoked {
+                        path: old_path.to_string(),
+                    }),
                 );
             }
         }
@@ -898,6 +1025,15 @@ impl Kernel {
             });
         if let Some(device) = device {
             self.device_map.insert(new_path, device);
+            // Historically unaudited: record the insert as a silent entry so
+            // the reduction tracks the map without changing the rendered log.
+            self.ledger.append(LedgerEntry::silent(
+                self.clock.now(),
+                Effect::DeviceInserted {
+                    path: new_path.to_string(),
+                    device: device.as_raw(),
+                },
+            ));
         }
     }
 
@@ -913,12 +1049,12 @@ impl Kernel {
         for (conn, seq, msg) in stashed {
             if self.netlink.authenticate(conn).is_err() {
                 self.monitor.note_channel_drop();
-                self.audit.record(
+                self.ledger.append(LedgerEntry::event(
                     self.clock.now(),
                     AuditCategory::ChannelEvent,
                     None,
                     "channel: reordered message dropped (connection gone)",
-                );
+                ));
                 continue;
             }
             let _ = self.netlink_deliver(conn, seq, msg);
@@ -972,12 +1108,12 @@ impl Kernel {
                     // (or for post-restart replay) — never lost for good.
                     self.monitor.note_channel_retry();
                     degraded = true;
-                    self.audit.record(
+                    self.ledger.append(LedgerEntry::event(
                         self.clock.now(),
                         AuditCategory::ChannelEvent,
                         None,
                         "channel: alert push lost in flight; retained for replay",
-                    );
+                    ));
                     self.push_buffer.push_front(alert);
                     break;
                 }
@@ -1001,11 +1137,16 @@ impl Kernel {
     /// the display connection and the state actually changes).
     fn channel_transition(&mut self, conn: ConnId, to: ChannelState) {
         if let Some((from, to)) = self.netlink.transition_display(conn, to) {
-            self.audit.record(
-                self.clock.now(),
-                AuditCategory::ChannelEvent,
-                None,
-                channel_transition_detail(from, to),
+            self.ledger.append(
+                LedgerEntry::event(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    None,
+                    channel_transition_detail(from, to),
+                )
+                .with_effect(Effect::Channel {
+                    to: channel_tag(to),
+                }),
             );
         }
     }
@@ -1176,24 +1317,35 @@ impl Kernel {
         op: ResourceOp,
         outcome: &DecisionOutcome,
     ) {
+        let verdict = Effect::Verdict {
+            granted: outcome.decision.verdict.is_grant(),
+            op: op_tag(op),
+            rule: rule_kind(&outcome.trace),
+        };
         match outcome.trace {
             DecisionTrace::ChannelDown | DecisionTrace::Quarantined => {
                 self.monitor.note_fail_closed();
-                self.audit.record(
-                    at,
-                    AuditCategory::PermissionDenied,
-                    Some(pid),
-                    outcome.trace.audit_detail(op),
+                self.ledger.append(
+                    LedgerEntry::event(
+                        at,
+                        AuditCategory::PermissionDenied,
+                        Some(pid),
+                        outcome.trace.audit_detail(op),
+                    )
+                    .with_effect(verdict),
                 );
             }
             DecisionTrace::UnknownProcess => {
                 // A query about a dead process is answered (deny) but not
                 // counted: the monitor never saw a checkable task.
-                self.audit.record(
-                    at,
-                    AuditCategory::PermissionDenied,
-                    Some(pid),
-                    outcome.trace.audit_detail(op),
+                self.ledger.append(
+                    LedgerEntry::event(
+                        at,
+                        AuditCategory::PermissionDenied,
+                        Some(pid),
+                        outcome.trace.audit_detail(op),
+                    )
+                    .with_effect(verdict),
                 );
             }
             _ => {
@@ -1204,11 +1356,14 @@ impl Kernel {
                 } else {
                     AuditCategory::PermissionDenied
                 };
-                // Static detail strings keep the mediation hot path
-                // allocation-free (this is the code the Table I device
+                // Static detail strings and a `Copy`-sized verdict effect
+                // keep the mediation hot path allocation-free apart from
+                // chain sealing (this is the code the Table I device
                 // benchmark times).
-                self.audit
-                    .record(at, category, Some(pid), outcome.trace.audit_detail(op));
+                self.ledger.append(
+                    LedgerEntry::event(at, category, Some(pid), outcome.trace.audit_detail(op))
+                        .with_effect(verdict),
+                );
             }
         }
     }
@@ -1408,11 +1563,17 @@ impl Kernel {
                 };
                 self.ptrace.hardening_enabled = enabled;
                 self.config.ptrace_hardening = enabled;
-                self.audit.record(
-                    self.clock.now(),
-                    AuditCategory::PtraceHardening,
-                    Some(pid),
-                    format!("hardening toggled to {enabled}"),
+                self.ledger.append(
+                    LedgerEntry::event(
+                        self.clock.now(),
+                        AuditCategory::PtraceHardening,
+                        Some(pid),
+                        format!("hardening toggled to {enabled}"),
+                    )
+                    .with_effect(Effect::Config {
+                        key: ConfigKey::PtraceHardening,
+                        value: u64::from(enabled),
+                    }),
                 );
                 Ok(())
             }
@@ -1434,6 +1595,41 @@ fn netlink_msg_kind(msg: &NetlinkMessage) -> &'static str {
         NetlinkMessage::InteractionNotification { .. } => "notify",
         NetlinkMessage::PermissionQuery { .. } => "query",
         NetlinkMessage::DeviceMapUpdate { .. } => "devmap",
+    }
+}
+
+/// The ledger's mirror of a [`ChannelState`].
+fn channel_tag(state: ChannelState) -> ChannelTag {
+    match state {
+        ChannelState::Up => ChannelTag::Up,
+        ChannelState::Degraded => ChannelTag::Degraded,
+        ChannelState::Down => ChannelTag::Down,
+    }
+}
+
+/// The ledger's structured mirror of the rule a decision trace fired.
+fn rule_kind(trace: &DecisionTrace) -> RuleKind {
+    match trace {
+        DecisionTrace::WithinThreshold { .. } => RuleKind::WithinThreshold,
+        DecisionTrace::GrantAll { .. } => RuleKind::GrantAll,
+        DecisionTrace::NoInteraction => RuleKind::NoInteraction,
+        DecisionTrace::Stale { .. } => RuleKind::Stale,
+        DecisionTrace::PermissionsFrozen => RuleKind::PermissionsFrozen,
+        DecisionTrace::ChannelDown => RuleKind::ChannelDown,
+        DecisionTrace::Quarantined => RuleKind::Quarantined,
+        DecisionTrace::UnknownProcess => RuleKind::UnknownProcess,
+    }
+}
+
+/// Stable ledger tag for a resource op (the `Effect::Verdict` `op` field).
+fn op_tag(op: ResourceOp) -> u8 {
+    match op {
+        ResourceOp::Mic => 0,
+        ResourceOp::Cam => 1,
+        ResourceOp::Sensor => 2,
+        ResourceOp::Screen => 3,
+        ResourceOp::Copy => 4,
+        ResourceOp::Paste => 5,
     }
 }
 

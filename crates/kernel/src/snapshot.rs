@@ -7,9 +7,10 @@
 //!   process table with interaction timestamps and credit chains, the
 //!   VFS, devices and the udev path map, monitor counters and pending
 //!   alerts, the channel registry (sequence numbers and suppression
-//!   watermarks), every IPC table, the shm wait list, the audit log, and
-//!   the in-flight push/reorder buffers. Serialized field by field in a
-//!   fixed order.
+//!   watermarks), every IPC table, the shm wait list, the hash-chained
+//!   ledger (the audit log is rebuilt from it as a projection on decode),
+//!   and the in-flight push/reorder buffers. Serialized field by field in
+//!   a fixed order.
 //! * **Derived state** — the epoch-keyed [`crate::policy::VerdictCache`],
 //!   the `explain_last` map, and the per-connection duplicate-suppression
 //!   sets. Never serialized; [`Kernel::import_snapshot`] rebuilds them
@@ -112,7 +113,7 @@ impl Kernel {
         self.mm.pack(enc);
         self.ptys.pack(enc);
         self.ptrace.pack(enc);
-        self.audit.pack(enc);
+        self.ledger.pack(enc);
         self.push_buffer.pack(enc);
         self.reorder_buffer.pack(enc);
     }
@@ -153,7 +154,7 @@ impl Kernel {
             mm: Pack::unpack(dec)?,
             ptys: Pack::unpack(dec)?,
             ptrace: Pack::unpack(dec)?,
-            audit: Pack::unpack(dec)?,
+            ledger: Pack::unpack(dec)?,
             push_buffer: Pack::unpack(dec)?,
             reorder_buffer: Pack::unpack(dec)?,
             verdict_cache: VerdictCache::new(),

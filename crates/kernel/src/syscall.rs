@@ -18,7 +18,9 @@
 //! (no offsets), writes append, and the open mode is not re-checked on
 //! subsequent reads/writes.
 
-use overhaul_sim::{AuditCategory, Fd, Pid, Timestamp, TraceValue, Uid};
+use overhaul_sim::{
+    AuditCategory, ChannelTag, Effect, Fd, LedgerEntry, Pid, Timestamp, TraceValue, Uid,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceClass;
@@ -163,22 +165,27 @@ impl Kernel {
         let state_before = self.netlink.state();
         let (dropped, display_lost) = self.netlink.invalidate_peer(pid);
         if dropped > 0 {
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 self.clock.now(),
                 AuditCategory::ChannelEvent,
                 Some(pid),
                 "netlink: connections invalidated on process exit",
-            );
+            ));
         }
         if display_lost && state_before != ChannelState::Down {
-            self.audit.record(
-                self.clock.now(),
-                AuditCategory::ChannelEvent,
-                Some(pid),
-                match state_before {
-                    ChannelState::Up => "channel state: up -> down (display manager exited)",
-                    _ => "channel state: degraded -> down (display manager exited)",
-                },
+            self.ledger.append(
+                LedgerEntry::event(
+                    self.clock.now(),
+                    AuditCategory::ChannelEvent,
+                    Some(pid),
+                    match state_before {
+                        ChannelState::Up => "channel state: up -> down (display manager exited)",
+                        _ => "channel state: degraded -> down (display manager exited)",
+                    },
+                )
+                .with_effect(Effect::Channel {
+                    to: ChannelTag::Down,
+                }),
             );
         }
         Ok(())
@@ -237,12 +244,12 @@ impl Kernel {
         let policy = self.ptrace;
         policy.attach(&mut self.tasks, tracer, tracee)?;
         if policy.hardening_enabled {
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 self.clock.now(),
                 AuditCategory::PtraceHardening,
                 Some(tracee),
                 format!("permissions frozen while traced by {tracer}"),
-            );
+            ));
         }
         Ok(())
     }
@@ -477,7 +484,16 @@ impl Kernel {
             self.pipes.release_reader(pipe);
             self.pipes.release_writer(pipe);
         }
-        self.device_map.remove(path);
+        if self.device_map.remove(path).is_some() {
+            // Historically unaudited: record the unmap silently so the
+            // ledger reduction tracks the device map exactly.
+            self.ledger.append(LedgerEntry::silent(
+                self.clock.now(),
+                Effect::DeviceRemoved {
+                    path: path.to_string(),
+                },
+            ));
+        }
         Ok(())
     }
 
@@ -831,12 +847,12 @@ impl Kernel {
                     ("adopted_ms", TraceValue::U64(adopted.as_millis())),
                 ],
             );
-            self.audit.record(
+            self.ledger.append(LedgerEntry::event(
                 now,
                 AuditCategory::InteractionPropagated,
                 Some(pid),
                 format!("adopted {adopted} via {}", mechanism.as_str()),
-            );
+            ));
         }
     }
 
@@ -853,12 +869,12 @@ impl Kernel {
                 ("mechanism", TraceValue::Static(mechanism)),
             ],
         );
-        self.audit.record(
+        self.ledger.append(LedgerEntry::event(
             now,
             AuditCategory::InteractionPropagated,
             Some(pid),
             format!("embedded into {mechanism}"),
-        );
+        ));
     }
 
     /// Releases the kernel object behind a closed/drained descriptor.

@@ -24,6 +24,11 @@
 //! * [`snapshot`] — the versioned binary checkpoint codec ([`Pack`],
 //!   [`Snapshot`]) and the canonical FNV-1a [`snapshot::fnv1a64`] state
 //!   hash behind `System::snapshot` / `System::restore` and record/replay.
+//! * [`ledger`] — the append-only, hash-chained authoritative history
+//!   ([`Ledger`]): typed entries with structured [`Effect`]s, a sealed
+//!   running chain hash ([`Ledger::verify_chain`]), the legacy
+//!   [`AuditLog`] maintained as a rendered projection, and control-plane
+//!   state as a deterministic reduction ([`ControlPlane`]).
 //!
 //! # Example
 //!
@@ -43,6 +48,7 @@ pub mod artifact;
 pub mod audit;
 pub mod fault;
 pub mod ids;
+pub mod ledger;
 pub mod rng;
 pub mod snapshot;
 pub mod time;
@@ -53,6 +59,10 @@ pub use artifact::BenchArtifact;
 pub use audit::{AuditCategory, AuditEvent, AuditLog};
 pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};
+pub use ledger::{
+    ChannelTag, ConfigKey, ControlPlane, Effect, Ledger, LedgerEntry, LedgerError, RuleKind,
+    SealedEntry,
+};
 pub use rng::SimRng;
 pub use snapshot::{Dec, Enc, Pack, Snapshot, SnapshotError};
 pub use time::{Clock, SimDuration, Timestamp};

@@ -56,8 +56,11 @@ pub mod selection;
 pub mod snapshot;
 pub mod window;
 
+use std::borrow::Cow;
+
 use overhaul_sim::{
-    AuditCategory, AuditLog, Clock, Pid, SimDuration, Timestamp, TraceValue, Tracer,
+    AuditCategory, AuditLog, Clock, Ledger, LedgerEntry, Pid, SimDuration, Timestamp, TraceValue,
+    Tracer,
 };
 
 use crate::client::ClientRegistry;
@@ -122,7 +125,9 @@ pub struct XServer {
     alerts: AlertManager,
     prompts: PromptSurface,
     focus: Option<WindowId>,
-    audit: AuditLog,
+    /// Hash-chained authoritative history; the legacy audit log is a
+    /// rendered projection of its non-silent entries.
+    ledger: Ledger,
     /// Virtual-time span tracer. Disabled (no-op) unless the system harness
     /// installs a shared enabled handle, in which case the display manager
     /// records into the same trace as the kernel.
@@ -156,7 +161,7 @@ impl XServer {
             alerts,
             prompts,
             focus: None,
-            audit: AuditLog::new(),
+            ledger: Ledger::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -187,15 +192,36 @@ impl XServer {
         self.config.visibility_threshold = threshold;
     }
 
-    /// The display manager's audit log.
+    /// The display manager's audit log — a rendered projection of the
+    /// hash-chained ledger.
     pub fn audit(&self) -> &AuditLog {
-        &self.audit
+        self.ledger.audit()
     }
 
-    /// Mutable audit log (measurement harnesses clear it periodically so
-    /// log growth does not distort long benchmark loops).
-    pub fn audit_mut(&mut self) -> &mut AuditLog {
-        &mut self.audit
+    /// The display manager's hash-chained ledger (the authoritative
+    /// history the audit log is projected from).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Clears recorded history while preserving chain continuity
+    /// (measurement harnesses clear periodically so log growth does not
+    /// distort long benchmark loops).
+    pub fn clear_history(&mut self) {
+        self.ledger.clear();
+    }
+
+    /// Appends an informational event to the ledger (and thereby the
+    /// projected audit log).
+    fn record(
+        &mut self,
+        at: Timestamp,
+        category: AuditCategory,
+        pid: Option<Pid>,
+        detail: impl Into<Cow<'static, str>>,
+    ) {
+        self.ledger
+            .append(LedgerEntry::event(at, category, pid, detail));
     }
 
     /// The overlay alert surface.
@@ -214,7 +240,7 @@ impl XServer {
         overhaul_sim::work::spin_micros(Self::ALERT_RENDER_MICROS);
         let now = self.clock.now();
         let id = self.prompts.ask(process, op, now)?;
-        self.audit.record(
+        self.record(
             now,
             AuditCategory::AlertDisplayed,
             None,
@@ -229,7 +255,7 @@ impl XServer {
     /// trustworthy.
     pub fn hardware_prompt_answer(&mut self, approve: bool) -> Option<Prompt> {
         let prompt = self.prompts.answer(approve)?;
-        self.audit.record(
+        self.record(
             self.clock.now(),
             AuditCategory::InteractionNotification,
             None,
@@ -398,14 +424,14 @@ impl XServer {
             );
             if stable {
                 link.notify_interaction(pid, now);
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::InteractionNotification,
                     Some(pid),
                     format!("hardware input on {window}"),
                 );
             } else {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::ClickjackingSuppressed,
                     Some(pid),
@@ -439,7 +465,7 @@ impl XServer {
             .alerts
             .show_detailed(process, op, granted, now, reason)
             .clone();
-        self.audit.record(
+        self.record(
             now,
             AuditCategory::AlertDisplayed,
             None,
@@ -473,7 +499,7 @@ impl XServer {
             .alerts
             .show_replayed_detailed(process, op, granted, now, reason)
             .clone();
-        self.audit.record(
+        self.record(
             now,
             AuditCategory::AlertDisplayed,
             None,
@@ -601,7 +627,7 @@ impl XServer {
                     },
                 )?;
                 if self.config.overhaul_enabled {
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::SyntheticInputFiltered,
                         Some(pid),
@@ -644,7 +670,7 @@ impl XServer {
                 .map(|w| w.to_string())
                 .unwrap_or_else(|| "root".into());
             if granted {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionGranted,
                     Some(pid),
@@ -652,7 +678,7 @@ impl XServer {
                 );
                 self.show_alert(&process, "scr", true);
             } else {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionDenied,
                     Some(pid),
@@ -692,7 +718,7 @@ impl XServer {
             let granted = link.query(pid, DisplayOp::Screen, now);
             let target = src.map(|w| w.to_string()).unwrap_or_else(|| "root".into());
             if granted {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionGranted,
                     Some(pid),
@@ -700,7 +726,7 @@ impl XServer {
                 );
                 self.show_alert(&format!("pid {}", pid.as_raw()), "scr", true);
             } else {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionDenied,
                     Some(pid),
@@ -766,7 +792,7 @@ impl XServer {
         if self.config.overhaul_enabled {
             // Step 2 of Figure 6: a copy must be preceded by user input.
             if !link.query(pid, DisplayOp::Copy, now) {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionDenied,
                     Some(pid),
@@ -774,7 +800,7 @@ impl XServer {
                 );
                 return Err(XError::BadAccess);
             }
-            self.audit.record(
+            self.record(
                 now,
                 AuditCategory::PermissionGranted,
                 Some(pid),
@@ -808,7 +834,7 @@ impl XServer {
         if self.config.overhaul_enabled {
             // Step 6 of Figure 6: a paste must be preceded by user input.
             if !link.query(pid, DisplayOp::Paste, now) {
-                self.audit.record(
+                self.record(
                     now,
                     AuditCategory::PermissionDenied,
                     Some(pid),
@@ -816,7 +842,7 @@ impl XServer {
                 );
                 return Err(XError::BadAccess);
             }
-            self.audit.record(
+            self.record(
                 now,
                 AuditCategory::PermissionGranted,
                 Some(pid),
@@ -848,7 +874,7 @@ impl XServer {
                 now,
                 &[("pid", TraceValue::U64(u64::from(pid.as_raw())))],
             );
-            self.audit.record(
+            self.record(
                 now,
                 AuditCategory::PermissionDenied,
                 Some(pid),
@@ -921,7 +947,7 @@ impl XServer {
                     // Anti-snooping: in-flight clipboard data is only
                     // readable by the paste target.
                     let pid = self.clients.pid_of(client)?;
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::ProtocolAttackBlocked,
                         Some(pid),
@@ -970,7 +996,7 @@ impl XServer {
                     },
                 )?;
                 if self.config.overhaul_enabled {
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::SyntheticInputFiltered,
                         Some(pid),
@@ -1009,7 +1035,7 @@ impl XServer {
                     )?;
                     Ok(Reply::Ok)
                 } else {
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::ProtocolAttackBlocked,
                         Some(pid),
@@ -1026,7 +1052,7 @@ impl XServer {
                 if self.config.overhaul_enabled {
                     // Only the server issues SelectionRequest (step 7); a
                     // client sending one is bypassing the paste check.
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::ProtocolAttackBlocked,
                         Some(pid),
@@ -1071,7 +1097,7 @@ impl XServer {
             if let Some(target) = restricted_to {
                 if watcher != target {
                     let pid = self.clients.pid_of(watcher).ok();
-                    self.audit.record(
+                    self.record(
                         now,
                         AuditCategory::ProtocolAttackBlocked,
                         pid,

@@ -5,7 +5,8 @@
 //! queues, the window tree (including stacking order and `visible_since`
 //! clocks, which the clickjacking gate depends on), selection ownership
 //! and in-flight transfers, the overlay alert and prompt surfaces, input
-//! focus, and the audit log. The shared virtual clock and tracer are owned
+//! focus, and the hash-chained ledger (the audit log is rebuilt from it as
+//! a projection on decode). The shared virtual clock and tracer are owned
 //! by the system harness, which serializes each once and hands the
 //! imported handles back in.
 
@@ -35,7 +36,7 @@ impl XServer {
         self.alerts.pack(enc);
         self.prompts.pack(enc);
         self.focus.pack(enc);
-        self.audit.pack(enc);
+        self.ledger.pack(enc);
     }
 
     /// Rebuilds a server from state serialized by
@@ -58,7 +59,7 @@ impl XServer {
             alerts: Pack::unpack(dec)?,
             prompts: Pack::unpack(dec)?,
             focus: Pack::unpack(dec)?,
-            audit: Pack::unpack(dec)?,
+            ledger: Pack::unpack(dec)?,
             clock,
             tracer,
         })
