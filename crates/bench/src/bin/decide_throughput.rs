@@ -1,0 +1,189 @@
+//! Decision-throughput benchmark: how many permission decisions per
+//! second the kernel sustains when driven through the batched ingestion
+//! API, plus the batched pure-engine ceiling.
+//!
+//! ```text
+//! cargo run --release -p overhaul-bench --bin decide_throughput [-- --quick]
+//! ```
+//!
+//! Rows:
+//!
+//! - `ingest_batch` — [`Kernel::ingest_batch`] fed a mixed stream of
+//!   interaction notifications and permission requests (mostly cache
+//!   hits). Every decision pays full mediation fidelity: monitor
+//!   counters, the hash-chained ledger append, and `explain_last`.
+//! - `engine batch` — pure [`PolicyEngine::decide`] over a prebuilt
+//!   snapshot, the `decide_batch` regime with every state read amortized
+//!   away: the throughput ceiling of the decision core itself.
+//!
+//! `--quick` runs a reduced iteration count and asserts conservative
+//! floors (full-fidelity ingestion in the millions of decisions/sec, the
+//! engine regime in the tens of millions), panicking on regression. CI
+//! runs this mode and diffs the artifact against the committed baseline.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use overhaul_kernel::monitor::ResourceOp;
+use overhaul_kernel::policy::{IngestEvent, OpRequest, PolicyEngine};
+use overhaul_kernel::{Kernel, KernelConfig, XORG_PATH};
+use overhaul_sim::{Clock, Pid, Timestamp};
+
+/// Processes in the benchmark kernel (mixed spawns and fork chains).
+const TASKS: usize = 1024;
+
+/// Events per ingested batch.
+const BATCH: usize = 4096;
+
+/// One interaction notification per this many requests (each one bumps
+/// its task's interaction epoch, so the pid's next request is a miss —
+/// the realistic mostly-hot regime rather than a pure hit loop).
+const INTERACTION_EVERY: usize = 64;
+
+/// A booted kernel with an authenticated display channel and `TASKS`
+/// processes, each holding a fresh interaction so requests are within-δ
+/// grants.
+fn fixture() -> (Kernel, Vec<Pid>, Timestamp) {
+    let clock = Clock::new();
+    let mut kernel = Kernel::new(clock, KernelConfig::default());
+    let x = kernel
+        .sys_spawn(Pid::INIT, XORG_PATH)
+        .expect("spawn display manager");
+    kernel.netlink_connect(x).expect("authenticate channel");
+    kernel.set_channel_required(true);
+    let mut pids = Vec::with_capacity(TASKS);
+    for i in 0..TASKS {
+        let pid = match pids.last() {
+            Some(&prev) if i % 8 != 0 => kernel.sys_fork(prev).expect("fork"),
+            _ => kernel
+                .sys_spawn(Pid::INIT, &format!("/usr/bin/app{i}"))
+                .expect("spawn"),
+        };
+        pids.push(pid);
+    }
+    let t = Timestamp::from_millis(1_000);
+    for &pid in &pids {
+        kernel
+            .record_interaction_direct(pid, t)
+            .expect("record interaction");
+    }
+    (kernel, pids, Timestamp::from_millis(1_500))
+}
+
+/// One batch of `BATCH` events over rotating pids: requests with a sparse
+/// sprinkling of interaction notifications.
+fn build_batch(pids: &[Pid], at: Timestamp, round: usize) -> Vec<IngestEvent> {
+    let mut events = Vec::with_capacity(BATCH);
+    for i in 0..BATCH {
+        let pid = pids[(round * BATCH + i) % pids.len()];
+        if i % INTERACTION_EVERY == INTERACTION_EVERY - 1 {
+            events.push(IngestEvent::Interaction { pid, at });
+        } else {
+            events.push(IngestEvent::Request(OpRequest {
+                pid,
+                op: ResourceOp::Mic,
+                at,
+            }));
+        }
+    }
+    events
+}
+
+/// Decisions per second through [`Kernel::ingest_batch`] (full mediation
+/// fidelity). Returns the best round.
+fn bench_ingest(kernel: &mut Kernel, pids: &[Pid], at: Timestamp, batches: usize) -> f64 {
+    // Pre-build the batches so the measured loop is ingestion only.
+    let prebuilt: Vec<Vec<IngestEvent>> = (0..batches).map(|r| build_batch(pids, at, r)).collect();
+    let requests_per_batch = prebuilt[0]
+        .iter()
+        .filter(|e| matches!(e, IngestEvent::Request(_)))
+        .count();
+    // Warm the verdict cache.
+    black_box(kernel.ingest_batch(&prebuilt[0]));
+    let start = Instant::now();
+    for batch in &prebuilt {
+        black_box(kernel.ingest_batch(batch));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (batches * requests_per_batch) as f64 / secs
+}
+
+/// Decisions per second of the pure engine over one prebuilt snapshot
+/// (the `decide_batch` regime's per-decision core).
+fn bench_engine(kernel: &mut Kernel, pids: &[Pid], at: Timestamp, iters: u64) -> f64 {
+    let pid = pids[0];
+    let snapshot = kernel.policy_snapshot(pid, false);
+    let request = OpRequest {
+        pid,
+        op: ResourceOp::Mic,
+        at,
+    };
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(PolicyEngine::decide(black_box(&snapshot), &request));
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn best(rounds: u32, mut run: impl FnMut() -> f64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        best = best.max(run());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (batches, engine_iters) = if quick {
+        (64, 2_000_000)
+    } else {
+        (512, 20_000_000)
+    };
+    let mode = if quick { "quick" } else { "full" };
+    println!(
+        "decision-throughput benchmark ({mode}, best of 3, {TASKS} tasks, \
+         batches of {BATCH}, 1 interaction per {INTERACTION_EVERY} events)\n"
+    );
+
+    let (mut kernel, pids, at) = fixture();
+    let ingest = best(3, || bench_ingest(&mut kernel, &pids, at, batches));
+    let engine = best(3, || bench_engine(&mut kernel, &pids, at, engine_iters));
+
+    println!("{:>14} {:>16} {:>12}", "path", "decisions/s", "ns/decision");
+    for (label, per_sec) in [("ingest_batch", ingest), ("engine batch", engine)] {
+        println!(
+            "{:>14} {:>15.2}M {:>11.1}ns",
+            label,
+            per_sec / 1e6,
+            1e9 / per_sec
+        );
+    }
+
+    let artifact = overhaul_sim::BenchArtifact::new("decide_throughput")
+        .text("mode", mode)
+        .int("tasks", TASKS as u64)
+        .int("batch_len", BATCH as u64)
+        .num("ingest_decisions_per_sec", ingest)
+        .num("ingest_ns_per_decision", 1e9 / ingest)
+        .num("engine_decisions_per_sec", engine);
+    match artifact.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write bench artifact: {e}"),
+    }
+
+    if quick {
+        assert!(
+            ingest >= 2_000_000.0,
+            "regression: full-fidelity batched ingestion at {:.2}M decisions/s (floor: 2M)",
+            ingest / 1e6
+        );
+        assert!(
+            engine >= 20_000_000.0,
+            "regression: batched engine at {:.2}M decisions/s (floor: 20M)",
+            engine / 1e6
+        );
+        println!("OK: batched ingestion sustains >= 2M full-fidelity decisions/sec");
+        println!("OK: batched engine evaluation sustains >= 20M decisions/sec");
+    }
+}

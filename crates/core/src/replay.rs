@@ -23,6 +23,7 @@ use overhaul_kernel::device::DeviceClass;
 use overhaul_kernel::error::SysResult;
 use overhaul_kernel::ipc::shm::ShmId;
 use overhaul_kernel::mm::VmaId;
+use overhaul_kernel::policy::{DecisionOutcome, IngestEvent};
 use overhaul_sim::snapshot::{Dec, Enc, Pack, Snapshot, SnapshotError};
 use overhaul_sim::{Fd, Pid, SimDuration, Timestamp};
 use overhaul_xserver::geometry::{Point, Rect};
@@ -226,6 +227,14 @@ pub enum Event {
         /// Bytes to read.
         len: usize,
     },
+    /// A batched mixed stream of interaction notifications and permission
+    /// requests ([`System::ingest_batch`]). One recorded event covers the
+    /// whole batch, so high-rate harnesses log (and replay, and bisect)
+    /// thousands of decisions as a single input.
+    IngestBatch {
+        /// The batch, in ingestion order.
+        events: Vec<IngestEvent>,
+    },
 }
 
 /// What applying an [`Event`] produced. Replayed runs are deterministic,
@@ -267,6 +276,9 @@ pub enum ApplyOutcome {
     XEvents(Result<Vec<XEvent>, XError>),
     /// Display-manager restart result (replayed alert count).
     Restarted(Result<usize, BootError>),
+    /// Batched ingestion outcomes, aligned with the input events
+    /// (`Some` per request, `None` per interaction).
+    Ingested(Vec<Option<DecisionOutcome>>),
 }
 
 impl ApplyOutcome {
@@ -339,6 +351,14 @@ impl ApplyOutcome {
         match self {
             ApplyOutcome::XEvents(events) => events,
             other => panic!("expected a drained-queue outcome, got {other:?}"),
+        }
+    }
+
+    /// The batched ingestion outcomes; panics on any other outcome.
+    pub fn ingested(self) -> Vec<Option<DecisionOutcome>> {
+        match self {
+            ApplyOutcome::Ingested(outcomes) => outcomes,
+            other => panic!("expected an ingestion outcome, got {other:?}"),
         }
     }
 }
@@ -417,6 +437,7 @@ pub fn apply_event(system: &mut System, event: &Event) -> ApplyOutcome {
             offset,
             len,
         } => ApplyOutcome::Bytes(system.kernel_mut().sys_shm_read(*pid, *vma, *offset, *len)),
+        Event::IngestBatch { events } => ApplyOutcome::Ingested(system.ingest_batch(events)),
     }
 }
 
@@ -847,6 +868,10 @@ mod pack {
                     offset.pack(enc);
                     len.pack(enc);
                 }
+                Event::IngestBatch { events } => {
+                    enc.put_u8(28);
+                    events.pack(enc);
+                }
             }
         }
         fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
@@ -953,6 +978,9 @@ mod pack {
                 },
                 27 => Event::DrainEvents {
                     client: Pack::unpack(dec)?,
+                },
+                28 => Event::IngestBatch {
+                    events: Pack::unpack(dec)?,
                 },
                 _ => return Err(SnapshotError::BadValue("event")),
             })

@@ -13,17 +13,34 @@
 //! mediation keys off this map — if the helper lags behind a rename, the
 //! device is temporarily unmediated, which is the real design's failure
 //! mode and is covered by tests.
+//!
+//! Paths are interned: each distinct path string is stored once in an
+//! append-only [`Interner`] and the live mapping is a dense
+//! `Vec<Option<DeviceId>>` indexed by [`Sym`]. Mediation-time lookups cost
+//! one string hash plus an array index, and re-announced paths (the
+//! helper replays events) never re-allocate. The snapshot encoding is
+//! unchanged from the `BTreeMap<String, DeviceId>` layout it replaces, so
+//! state hashes and ledger heads are unaffected.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
+
+use overhaul_sim::{Interner, Sym};
 
 use crate::device::DeviceId;
 
 /// Kernel-side map from device-node paths to sensitive devices.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceMap {
-    by_path: BTreeMap<String, DeviceId>,
+    /// Every path ever announced, interned once. Symbols are never freed:
+    /// device maps are tiny and the helper replays a bounded set of paths.
+    paths: Interner,
+    /// Live mapping, indexed by `Sym`. `None` marks a path that is known
+    /// to the interner but not currently mapped.
+    by_sym: Vec<Option<DeviceId>>,
+    /// Number of `Some` entries in `by_sym`.
+    mapped: usize,
     /// Devices whose old path was revoked while the helper's update about
     /// the new path is still in flight. A quarantined device is unreachable
     /// even at unmapped paths (fail closed) until a fresh mapping arrives.
@@ -39,18 +56,39 @@ impl DeviceMap {
         DeviceMap::default()
     }
 
+    /// The dense mapping cell for `path`, interning it if new.
+    fn cell_mut(&mut self, path: &str) -> &mut Option<DeviceId> {
+        let sym = self.paths.intern(path);
+        let index = sym.as_raw() as usize;
+        if index >= self.by_sym.len() {
+            self.by_sym.resize(index + 1, None);
+        }
+        &mut self.by_sym[index]
+    }
+
+    /// The dense mapping cell for `path`, if the path was ever announced.
+    fn cell(&self, path: &str) -> Option<&Option<DeviceId>> {
+        let sym = self.paths.lookup(path)?;
+        self.by_sym.get(sym.as_raw() as usize)
+    }
+
     /// Registers `path` as the node of `device`, lifting any quarantine:
     /// a fresh helper-provided mapping is the all-clear.
     pub fn insert(&mut self, path: impl Into<String>, device: DeviceId) {
         self.quarantined.remove(&device);
-        self.by_path.insert(path.into(), device);
+        let cell = self.cell_mut(&path.into());
+        if cell.replace(device).is_none() {
+            self.mapped += 1;
+        }
         self.generation += 1;
     }
 
     /// Removes a path mapping, returning the device it pointed to.
     pub fn remove(&mut self, path: &str) -> Option<DeviceId> {
-        let removed = self.by_path.remove(path);
+        let sym = self.paths.lookup(path)?;
+        let removed = self.by_sym.get_mut(sym.as_raw() as usize)?.take();
         if removed.is_some() {
+            self.mapped -= 1;
             self.generation += 1;
         }
         removed
@@ -60,7 +98,9 @@ impl DeviceMap {
     /// and the helper's update for the new location has not arrived yet, so
     /// the device must stay unreachable in the meantime.
     pub fn revoke(&mut self, path: &str) -> Option<DeviceId> {
-        let device = self.by_path.remove(path)?;
+        let sym = self.paths.lookup(path)?;
+        let device = self.by_sym.get_mut(sym.as_raw() as usize)?.take()?;
+        self.mapped -= 1;
         self.quarantined.insert(device);
         self.generation += 1;
         Some(device)
@@ -75,11 +115,19 @@ impl DeviceMap {
     /// unknown path is ignored (the helper may replay events). A completed
     /// rename lifts any quarantine on the device.
     pub fn rename(&mut self, old_path: &str, new_path: impl Into<String>) {
-        if let Some(device) = self.by_path.remove(old_path) {
-            self.quarantined.remove(&device);
-            self.by_path.insert(new_path.into(), device);
-            self.generation += 1;
-        }
+        let Some(sym) = self.paths.lookup(old_path) else {
+            return;
+        };
+        let Some(device) = self
+            .by_sym
+            .get_mut(sym.as_raw() as usize)
+            .and_then(Option::take)
+        else {
+            return;
+        };
+        self.quarantined.remove(&device);
+        *self.cell_mut(&new_path.into()) = Some(device);
+        self.generation += 1;
     }
 
     /// Monotone counter of map mutations (the device map's contribution to
@@ -89,26 +137,54 @@ impl DeviceMap {
     }
 
     /// The sensitive device at `path`, if the map knows one.
+    #[inline]
     pub fn lookup(&self, path: &str) -> Option<DeviceId> {
-        self.by_path.get(path).copied()
+        *self.cell(path)?
+    }
+
+    /// The symbol for `path`, if the path was ever announced to the map.
+    /// Symbols are stable for the life of the map, so callers on hot paths
+    /// can resolve a path to an integer once and compare integers after.
+    pub fn sym_of(&self, path: &str) -> Option<Sym> {
+        self.paths.lookup(path)
+    }
+
+    /// The sensitive device mapped at `sym`, if any. Array-indexed: the
+    /// no-string-hash fast path for callers holding a [`Sym`].
+    #[inline]
+    pub fn lookup_sym(&self, sym: Sym) -> Option<DeviceId> {
+        *self.by_sym.get(sym.as_raw() as usize)?
     }
 
     /// Whether `path` is currently mapped as sensitive.
     pub fn is_sensitive(&self, path: &str) -> bool {
-        self.by_path.contains_key(path)
+        self.lookup(path).is_some()
     }
 
     /// The current path of `device`, if mapped.
     pub fn path_of(&self, device: DeviceId) -> Option<&str> {
-        self.by_path
+        self.by_sym
             .iter()
-            .find(|(_, d)| **d == device)
-            .map(|(p, _)| p.as_str())
+            .position(|d| *d == Some(device))
+            .map(|i| self.paths.resolve(Sym::from_raw(i as u32)))
+    }
+
+    /// The mapped `(path, device)` pairs in path order. Paths intern in
+    /// announcement order, so this sorts the (tiny) live set on demand.
+    fn sorted_pairs(&self) -> Vec<(&str, DeviceId)> {
+        let mut pairs: Vec<(&str, DeviceId)> = self
+            .by_sym
+            .iter()
+            .enumerate()
+            .filter_map(|(i, dev)| dev.map(|d| (self.paths.resolve(Sym::from_raw(i as u32)), d)))
+            .collect();
+        pairs.sort_unstable_by_key(|(path, _)| *path);
+        pairs
     }
 
     /// Iterates the mapped `(path, device)` pairs in path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, DeviceId)> + '_ {
-        self.by_path.iter().map(|(path, dev)| (path.as_str(), *dev))
+        self.sorted_pairs().into_iter()
     }
 
     /// Iterates the quarantined devices in id order.
@@ -118,33 +194,75 @@ impl DeviceMap {
 
     /// Number of mapped paths.
     pub fn len(&self) -> usize {
-        self.by_path.len()
+        self.mapped
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_path.is_empty()
+        self.mapped == 0
+    }
+}
+
+impl DeviceMap {
+    /// Rebuilds the interner + dense table from the external sorted-map
+    /// shape (the snapshot decode path).
+    fn from_sorted(
+        by_path: BTreeMap<String, DeviceId>,
+        quarantined: BTreeSet<DeviceId>,
+        generation: u64,
+    ) -> Self {
+        let mut map = DeviceMap {
+            quarantined,
+            ..DeviceMap::default()
+        };
+        for (path, device) in by_path {
+            *map.cell_mut(&path) = Some(device);
+            map.mapped += 1;
+        }
+        map.generation = generation;
+        map
     }
 }
 
 mod pack {
     //! Snapshot codec for the device map (including quarantine state and
-    //! the policy-epoch generation counter).
+    //! the policy-epoch generation counter). Encodes the sorted-pair
+    //! `BTreeMap` layout the pre-interning map used, byte for byte, so
+    //! `state_hash` and every committed snapshot stay valid; the interner
+    //! and dense table are rebuilt on decode.
 
-    use overhaul_sim::impl_pack;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    use overhaul_sim::{Dec, Enc, Pack, SnapshotError};
 
     use super::DeviceMap;
+    use crate::device::DeviceId;
 
-    impl_pack!(DeviceMap {
-        by_path,
-        quarantined,
-        generation
-    });
+    impl Pack for DeviceMap {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u64(self.mapped as u64);
+            for (path, device) in self.iter() {
+                enc.put_u64(path.len() as u64);
+                enc.put_slice(path.as_bytes());
+                device.pack(enc);
+            }
+            self.quarantined.pack(enc);
+            enc.put_u64(self.generation);
+        }
+
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            let by_path = BTreeMap::<String, DeviceId>::unpack(dec)?;
+            let quarantined = BTreeSet::<DeviceId>::unpack(dec)?;
+            let generation = dec.take_u64()?;
+            Ok(DeviceMap::from_sorted(by_path, quarantined, generation))
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use overhaul_sim::{Enc, Pack};
 
     #[test]
     fn insert_and_lookup() {
@@ -241,5 +359,54 @@ mod tests {
         map.insert("/dev/mic", DeviceId::from_raw(3));
         assert_eq!(map.path_of(DeviceId::from_raw(3)), Some("/dev/mic"));
         assert_eq!(map.path_of(DeviceId::from_raw(9)), None);
+    }
+
+    #[test]
+    fn sym_lookup_is_stable_across_remap() {
+        let mut map = DeviceMap::new();
+        map.insert("/dev/video0", DeviceId::from_raw(1));
+        let sym = map.sym_of("/dev/video0").expect("interned");
+        assert_eq!(map.lookup_sym(sym), Some(DeviceId::from_raw(1)));
+        map.remove("/dev/video0");
+        assert_eq!(map.lookup_sym(sym), None, "sym survives, mapping gone");
+        map.insert("/dev/video0", DeviceId::from_raw(2));
+        assert_eq!(map.sym_of("/dev/video0"), Some(sym), "sym is stable");
+        assert_eq!(map.lookup_sym(sym), Some(DeviceId::from_raw(2)));
+    }
+
+    #[test]
+    fn pack_layout_matches_legacy_btreemap_encoding() {
+        let mut map = DeviceMap::new();
+        // Announce out of path order and churn so the dense table diverges
+        // from sorted order; the encoding must still be the sorted one.
+        map.insert("/dev/video9", DeviceId::from_raw(9));
+        map.insert("/dev/audio", DeviceId::from_raw(2));
+        map.insert("/dev/mic", DeviceId::from_raw(3));
+        map.revoke("/dev/audio");
+        map.rename("/dev/video9", "/dev/cam");
+
+        let mut legacy_by_path = BTreeMap::new();
+        for (path, dev) in map.iter() {
+            legacy_by_path.insert(path.to_string(), dev);
+        }
+        let mut legacy = Enc::new();
+        legacy_by_path.pack(&mut legacy);
+        map.quarantined.pack(&mut legacy);
+        legacy.put_u64(map.generation());
+
+        let mut current = Enc::new();
+        map.pack(&mut current);
+        assert_eq!(current.bytes(), legacy.bytes());
+
+        let mut dec = overhaul_sim::Dec::new(current.bytes());
+        let restored = DeviceMap::unpack(&mut dec).expect("decode");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(restored.len(), map.len());
+        assert_eq!(restored.generation(), map.generation());
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            map.iter().collect::<Vec<_>>()
+        );
+        assert!(restored.is_quarantined(DeviceId::from_raw(2)));
     }
 }

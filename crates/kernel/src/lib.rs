@@ -59,7 +59,7 @@ pub mod task;
 pub mod vfs;
 
 use std::borrow::Cow;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use overhaul_sim::{
     AuditCategory, AuditLog, ChannelFault, ChannelTag, Clock, ConfigKey, ControlPlane, Effect,
@@ -81,8 +81,8 @@ use crate::netlink::{
     ChannelState, ConnId, KernelPush, Netlink, NetlinkError, NetlinkMessage, NetlinkReply,
 };
 use crate::policy::{
-    CacheStats, DecisionOutcome, DecisionTrace, OpRequest, PolicyEngine, PolicySnapshot,
-    TaskPolicyView, VerdictCache,
+    CacheStats, DecisionOutcome, DecisionTrace, IngestEvent, OpRequest, PolicyEngine,
+    PolicySnapshot, TaskPolicyView, VerdictCache,
 };
 use crate::process::ProcessTable;
 use crate::ptrace::PtracePolicy;
@@ -198,11 +198,12 @@ pub struct Kernel {
     /// and device-map changes contribute via their own generation counters;
     /// see [`Kernel::policy_epoch`].
     policy_epoch: u64,
-    /// Epoch-keyed verdict cache over the pure policy engine.
+    /// Epoch-keyed verdict cache over the pure policy engine, stored
+    /// densely per process-arena slot. Also holds each live task's most
+    /// recent outcome per op (the [`Kernel::explain_last`] store); both
+    /// are evicted when the process exits, so per-task derived state is
+    /// bounded by the live task count.
     verdict_cache: VerdictCache,
-    /// Most recent traced outcome per `(pid, op)`, for
-    /// [`Kernel::explain_last`].
-    last_decisions: HashMap<(Pid, ResourceOp), DecisionOutcome>,
     /// Monotone count of traced decisions, driving the deterministic
     /// head-sampling of cache-hit `kernel.decide` spans.
     decide_serial: u64,
@@ -275,7 +276,6 @@ impl Kernel {
             reorder_buffer: Vec::new(),
             policy_epoch: 0,
             verdict_cache: VerdictCache::new(),
-            last_decisions: HashMap::new(),
             decide_serial: 0,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
@@ -1206,24 +1206,31 @@ impl Kernel {
     ) -> DecisionOutcome {
         let global_epoch = self.policy_epoch();
         // The cache is only consulted for pids the process table knows:
-        // reading the live task epoch is what makes a hit sound, and it
+        // the pid resolves to a generation-checked arena slot, and reading
+        // the live task's epoch through it is what makes a hit sound. It
         // also means unknown-pid outcomes can never be served stale after
-        // that pid is later spawned (pids are never reused).
-        let task_epoch = self.tasks.get(pid).ok().map(|t| t.interaction_epoch());
-        let cached = task_epoch.and_then(|epoch| {
-            self.verdict_cache
-                .lookup(pid, op, quarantined, at, epoch, global_epoch)
-        });
+        // that pid is later spawned (pids are never reused, and a reused
+        // *slot* fails the generation check).
+        let slot_entry = self.tasks.slot_entry(pid);
+        let slot = slot_entry.map(|(id, _)| id);
+        let task_epoch = slot_entry.map(|(_, t)| t.interaction_epoch());
+        let cached = match (slot, task_epoch) {
+            (Some(id), Some(epoch)) => {
+                self.verdict_cache
+                    .lookup(id, op, quarantined, at, epoch, global_epoch)
+            }
+            _ => None,
+        };
         let cache_hit = cached.is_some();
         let outcome = match cached {
             Some(outcome) => outcome,
             None => {
                 let snapshot = self.policy_snapshot(pid, quarantined);
                 let outcome = PolicyEngine::decide(&snapshot, &OpRequest { pid, op, at });
-                if let Some(epoch) = task_epoch {
+                if let (Some(id), Some(epoch)) = (slot, task_epoch) {
                     if !matches!(outcome.trace, DecisionTrace::UnknownProcess) {
                         self.verdict_cache.store(
-                            pid,
+                            id,
                             op,
                             quarantined,
                             epoch,
@@ -1263,7 +1270,9 @@ impl Kernel {
             self.metrics
                 .inc_counter("overhaul_credit_chain_saturated_total");
         }
-        self.last_decisions.insert((pid, op), outcome);
+        if let Some(id) = slot {
+            self.verdict_cache.record_last(id, op, &outcome);
+        }
         outcome
     }
 
@@ -1377,10 +1386,56 @@ impl Kernel {
             .collect()
     }
 
+    /// Batched event ingestion: feeds a mixed stream of interaction
+    /// notifications and permission requests through the kernel in one
+    /// call, so workloads and the fleet harness drive mediation without
+    /// per-event dispatch overhead. Contiguous runs of requests are
+    /// decided via [`Kernel::decide_batch`]; interactions flow through the
+    /// same path as [`Kernel::record_interaction_direct`] (notifications
+    /// for dead pids are dropped, exactly like the per-event call).
+    ///
+    /// The returned vector is aligned with the input: `Some(outcome)` for
+    /// each request, `None` for each interaction. Every observable effect
+    /// (monitor counters, ledger entries, cache state, trace spans) is
+    /// byte-identical to issuing the same events one call at a time in the
+    /// same order.
+    pub fn ingest_batch(&mut self, events: &[IngestEvent]) -> Vec<Option<DecisionOutcome>> {
+        let mut out = Vec::with_capacity(events.len());
+        let mut pending: Vec<OpRequest> = Vec::new();
+        for event in events {
+            match event {
+                IngestEvent::Request(req) => pending.push(*req),
+                IngestEvent::Interaction { pid, at } => {
+                    self.flush_pending_requests(&mut pending, &mut out);
+                    let _ = self.record_interaction_direct(*pid, *at);
+                    out.push(None);
+                }
+            }
+        }
+        self.flush_pending_requests(&mut pending, &mut out);
+        out
+    }
+
+    /// Decides a buffered run of requests and appends the outcomes.
+    fn flush_pending_requests(
+        &mut self,
+        pending: &mut Vec<OpRequest>,
+        out: &mut Vec<Option<DecisionOutcome>>,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        out.extend(self.decide_batch(pending).into_iter().map(Some));
+        pending.clear();
+    }
+
     /// The most recent traced outcome for `(pid, op)`: why the last
-    /// mediation of that pair granted or denied.
+    /// mediation of that pair granted or denied. Per-task explain state
+    /// lives in the slot-indexed cache and is dropped when the process
+    /// exits, so only live-or-zombie tasks are explainable.
     pub fn explain_last(&self, pid: Pid, op: ResourceOp) -> Option<&DecisionOutcome> {
-        self.last_decisions.get(&(pid, op))
+        let id = self.tasks.slot_of(pid)?;
+        self.verdict_cache.last(id, op)
     }
 
     /// Verdict-cache hit/miss/size counters.
@@ -2010,6 +2065,105 @@ mod tests {
         // Stats and audit accrue identically on the hit.
         assert_eq!(k.monitor_stats().grants, 2);
         assert_eq!(k.audit().matching("op=mic granted").count(), 2);
+    }
+
+    #[test]
+    fn task_churn_keeps_verdict_cache_and_slot_table_bounded() {
+        // Regression: cached verdicts and `explain_last` cells used to be
+        // keyed by pid and never evicted, so a spawn/decide/exit loop grew
+        // kernel state without bound. Eviction on exit/reap plus arena
+        // slot reuse must keep both bounded by the *live* task count.
+        let mut k = kernel();
+        let t = Timestamp::from_millis(100);
+        let baseline_slots = k.tasks().slot_capacity();
+        for round in 0..200 {
+            let app = k
+                .sys_spawn(Pid::INIT, &format!("/usr/bin/churn{round}"))
+                .unwrap();
+            k.record_interaction_direct(app, t).unwrap();
+            assert!(k
+                .decide_direct(app, Timestamp::from_millis(200), ResourceOp::Mic)
+                .verdict
+                .is_grant());
+            k.decide_direct(app, Timestamp::from_millis(200), ResourceOp::Cam);
+            assert!(k.verdict_cache_stats().entries <= 2, "live task only");
+            k.sys_exit(app, 0).unwrap();
+            k.sys_waitpid(Pid::INIT, app).unwrap();
+            assert_eq!(
+                k.verdict_cache_stats().entries,
+                0,
+                "exit must evict the task's cached verdicts (round {round})"
+            );
+            assert_eq!(
+                k.explain_last(app, ResourceOp::Mic),
+                None,
+                "explain_last must not outlive the task"
+            );
+        }
+        // 200 spawned-and-reaped tasks reuse one arena slot, so the slot
+        // table must not have grown past the churn task plus slack.
+        assert!(
+            k.tasks().slot_capacity() <= baseline_slots + 2,
+            "slot table grew under churn: {} -> {}",
+            baseline_slots,
+            k.tasks().slot_capacity()
+        );
+    }
+
+    #[test]
+    fn ingest_batch_is_equivalent_to_per_event_calls() {
+        let mk = || {
+            let mut k = kernel();
+            let a = k.sys_spawn(Pid::INIT, "/usr/bin/a").unwrap();
+            let b = k.sys_spawn(Pid::INIT, "/usr/bin/b").unwrap();
+            (k, a, b)
+        };
+        let req = |pid, ms, op| {
+            IngestEvent::Request(OpRequest {
+                pid,
+                op,
+                at: Timestamp::from_millis(ms),
+            })
+        };
+        let (mut batched, a, b) = mk();
+        let events = vec![
+            req(a, 50, ResourceOp::Mic), // no interaction yet: deny
+            IngestEvent::Interaction {
+                pid: a,
+                at: Timestamp::from_millis(100),
+            },
+            req(a, 150, ResourceOp::Mic),
+            req(a, 160, ResourceOp::Mic), // cache hit
+            req(b, 170, ResourceOp::Cam), // still deny
+            IngestEvent::Interaction {
+                pid: Pid::from_raw(9999), // dead pid: dropped, not an error
+                at: Timestamp::from_millis(180),
+            },
+            req(b, 200, ResourceOp::Cam),
+        ];
+        let outcomes = batched.ingest_batch(&events);
+        assert_eq!(outcomes.len(), events.len());
+        assert!(!outcomes[0].as_ref().unwrap().decision.verdict.is_grant());
+        assert!(outcomes[1].is_none());
+        assert!(outcomes[2].as_ref().unwrap().decision.verdict.is_grant());
+        assert!(outcomes[3].as_ref().unwrap().decision.verdict.is_grant());
+
+        // Same stream issued one call at a time on a fresh kernel.
+        let (mut serial, a2, b2) = mk();
+        assert_eq!((a, b), (a2, b2), "spawns are deterministic");
+        for event in &events {
+            match event {
+                IngestEvent::Request(r) => {
+                    serial.decide_direct(r.pid, r.at, r.op);
+                }
+                IngestEvent::Interaction { pid, at } => {
+                    let _ = serial.record_interaction_direct(*pid, *at);
+                }
+            }
+        }
+        assert_eq!(batched.monitor_stats(), serial.monitor_stats());
+        assert_eq!(batched.verdict_cache_stats(), serial.verdict_cache_stats());
+        assert_eq!(batched.ledger().head(), serial.ledger().head());
     }
 
     #[test]

@@ -31,10 +31,9 @@
 //! one module means there is exactly one place where timestamps are
 //! compared.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use overhaul_sim::{Pid, SimDuration, Timestamp};
+use overhaul_sim::{Pid, SimDuration, SlotId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::monitor::{Decision, DecisionReason, ResourceOp, Verdict};
@@ -195,6 +194,23 @@ pub struct OpRequest {
     pub op: ResourceOp,
     /// The operation time (`t + n` in the paper).
     pub at: Timestamp,
+}
+
+/// One element of a batched ingestion feed (`Kernel::ingest_batch`): an
+/// authentic-interaction notification or a permission request. `Copy` and
+/// integer-only so batches move through the kernel, the replay log, and
+/// the fleet harness without touching the heap per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestEvent {
+    /// An authentic user interaction observed for `pid` at `at`.
+    Interaction {
+        /// The interacting process.
+        pid: Pid,
+        /// When the input arrived (`t` in the paper).
+        at: Timestamp,
+    },
+    /// A permission query, answered through the traced decide path.
+    Request(OpRequest),
 }
 
 /// The policy-relevant view of one task, lifted out of the process table.
@@ -617,24 +633,71 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that required a full evaluation.
     pub misses: u64,
-    /// Entries currently stored.
+    /// Verdicts currently stored.
     pub entries: usize,
 }
 
-/// The epoch-keyed verdict cache.
+/// The dense index of a [`ResourceOp`] (also its wire/ledger tag).
+#[inline]
+pub(crate) fn op_index(op: ResourceOp) -> usize {
+    match op {
+        ResourceOp::Mic => 0,
+        ResourceOp::Cam => 1,
+        ResourceOp::Sensor => 2,
+        ResourceOp::Screen => 3,
+        ResourceOp::Copy => 4,
+        ResourceOp::Paste => 5,
+    }
+}
+
+/// Number of [`ResourceOp`] variants (the width of per-task slot arrays).
+const OP_WAYS: usize = 6;
+/// Verdict cells per task: one per `(op, quarantined)` pair.
+const VERDICT_WAYS: usize = OP_WAYS * 2;
+
+/// Per-task verdict and last-decision storage, parallel to one process
+/// arena slot. `gen` records which arena generation wrote the cells; a
+/// mismatch means the slot was reused by a later task and the cells are
+/// logically empty.
+#[derive(Debug, Clone)]
+struct TaskSlots {
+    gen: u32,
+    verdicts: [Option<CachedVerdict>; VERDICT_WAYS],
+    last: [Option<DecisionOutcome>; OP_WAYS],
+}
+
+impl TaskSlots {
+    const EMPTY: TaskSlots = TaskSlots {
+        gen: 0,
+        verdicts: [None; VERDICT_WAYS],
+        last: [None; OP_WAYS],
+    };
+
+    fn live_verdicts(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// The epoch-keyed verdict cache, stored densely per process-arena slot.
 ///
-/// Keys are `(pid, op, quarantined)`; an entry is a hit only when both
-/// its epochs still match *and* its [`Validity`] window covers the
-/// queried operation time. Unknown-process outcomes are never cached by
-/// the kernel (a later spawn of that pid would not bump any epoch), and
-/// pids are never reused, so no explicit per-pid invalidation is needed:
-/// reaping a task orphans its entries, which can never hit again because
-/// a hit requires reading the live task's epoch first.
+/// Each task slot holds a fixed array of `(op, quarantined)` verdict
+/// cells plus the task's last decision per op, indexed by the
+/// generation-checked [`SlotId`] the process table issued — a lookup is
+/// two array indexes and an epoch compare, with no hashing. An entry is a
+/// hit only when the slot generation and both epochs still match *and*
+/// its [`Validity`] window covers the queried operation time.
+/// Unknown-process outcomes are never cached by the kernel (a later spawn
+/// of that pid would not bump any epoch). The kernel explicitly
+/// [`evict`](VerdictCache::evict)s a slot when its process exits, so the
+/// cache footprint is bounded by the *live* task count even under
+/// unbounded task churn; the generation check makes even a missed
+/// eviction harmless when a slot is reused.
 #[derive(Debug, Clone, Default)]
 pub struct VerdictCache {
-    entries: HashMap<(Pid, ResourceOp, bool), CachedVerdict>,
+    slots: Vec<TaskSlots>,
     hits: u64,
     misses: u64,
+    entries: usize,
 }
 
 impl VerdictCache {
@@ -643,33 +706,61 @@ impl VerdictCache {
         VerdictCache::default()
     }
 
-    /// Looks up a verdict for `(pid, op, quarantined)` at operation time
+    /// Mutable access to the cells for `id`, growing the side table and
+    /// resetting reused slots as needed. Only called on the store path.
+    fn slot_mut(&mut self, id: SlotId) -> &mut TaskSlots {
+        let index = id.index() as usize;
+        if self.slots.len() <= index {
+            self.slots.resize(index + 1, TaskSlots::EMPTY);
+        }
+        if self.slots[index].gen != id.gen() {
+            self.entries -= self.slots[index].live_verdicts();
+            self.slots[index] = TaskSlots::EMPTY;
+            self.slots[index].gen = id.gen();
+        }
+        &mut self.slots[index]
+    }
+
+    /// Shared access to the cells for `id`, if present and current.
+    fn slot(&self, id: SlotId) -> Option<&TaskSlots> {
+        self.slots
+            .get(id.index() as usize)
+            .filter(|s| s.gen == id.gen())
+    }
+
+    /// Looks up a verdict for `(slot, op, quarantined)` at operation time
     /// `at`, requiring both epochs to match. On a hit, time-dependent
     /// trace fields are refreshed so the outcome is byte-identical to a
     /// fresh evaluation.
+    #[inline]
     pub fn lookup(
         &mut self,
-        pid: Pid,
+        id: SlotId,
         op: ResourceOp,
         quarantined: bool,
         at: Timestamp,
         task_epoch: u64,
         global_epoch: u64,
     ) -> Option<DecisionOutcome> {
-        match self.entries.get(&(pid, op, quarantined)) {
+        let hit = match self
+            .slot(id)
+            .and_then(|s| s.verdicts[op_index(op) * 2 + quarantined as usize].as_ref())
+        {
             Some(entry)
                 if entry.task_epoch == task_epoch
                     && entry.global_epoch == global_epoch
                     && entry.validity.covers(at) =>
             {
-                self.hits += 1;
                 Some(entry.outcome.refreshed_at(at))
             }
-            _ => {
-                self.misses += 1;
-                None
-            }
+            _ => None,
+        };
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
         }
+        hit
     }
 
     /// Stores a freshly evaluated outcome. `delta` must be the threshold
@@ -677,7 +768,7 @@ impl VerdictCache {
     #[allow(clippy::too_many_arguments)] // the cache key is wide by design
     pub fn store(
         &mut self,
-        pid: Pid,
+        id: SlotId,
         op: ResourceOp,
         quarantined: bool,
         task_epoch: u64,
@@ -685,15 +776,41 @@ impl VerdictCache {
         delta: SimDuration,
         outcome: &DecisionOutcome,
     ) {
-        self.entries.insert(
-            (pid, op, quarantined),
-            CachedVerdict {
-                task_epoch,
-                global_epoch,
-                validity: Validity::for_trace(&outcome.trace, delta),
-                outcome: *outcome,
-            },
-        );
+        let cached = CachedVerdict {
+            task_epoch,
+            global_epoch,
+            validity: Validity::for_trace(&outcome.trace, delta),
+            outcome: *outcome,
+        };
+        let fresh = self.slot_mut(id).verdicts[op_index(op) * 2 + quarantined as usize]
+            .replace(cached)
+            .is_none();
+        if fresh {
+            self.entries += 1;
+        }
+    }
+
+    /// Records the task's most recent decision for `op` (the backing
+    /// store of `Kernel::explain_last`).
+    #[inline]
+    pub fn record_last(&mut self, id: SlotId, op: ResourceOp, outcome: &DecisionOutcome) {
+        self.slot_mut(id).last[op_index(op)] = Some(*outcome);
+    }
+
+    /// The task's most recent decision for `op`, if any.
+    pub fn last(&self, id: SlotId, op: ResourceOp) -> Option<&DecisionOutcome> {
+        self.slot(id)?.last[op_index(op)].as_ref()
+    }
+
+    /// Drops every cell belonging to `id` (process exit / reap). Stale
+    /// ids (slot already reused) are a no-op.
+    pub fn evict(&mut self, id: SlotId) {
+        let index = id.index() as usize;
+        if index < self.slots.len() && self.slots[index].gen == id.gen() {
+            self.entries -= self.slots[index].live_verdicts();
+            self.slots[index] = TaskSlots::EMPTY;
+            self.slots[index].gen = id.gen();
+        }
     }
 
     /// Hit/miss/size counters.
@@ -701,13 +818,14 @@ impl VerdictCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
-            entries: self.entries.len(),
+            entries: self.entries,
         }
     }
 
     /// Drops every entry (counters survive).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.entries = 0;
     }
 }
 
@@ -778,14 +896,58 @@ fn quarantined_detail(op: ResourceOp) -> &'static str {
 }
 
 mod pack {
-    //! Snapshot codec for credit chains. Verdict-cache entries and last
-    //! decisions are *derived* state — rebuilt after restore, never
-    //! serialized — so only the provenance types get codecs.
+    //! Snapshot codec for credit chains and batched ingestion payloads.
+    //! Verdict-cache entries and last decisions are *derived* state —
+    //! rebuilt after restore, never serialized — so only the provenance
+    //! and wire types get codecs.
 
     use overhaul_sim::impl_pack;
     use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::{Pid, Timestamp};
 
-    use super::{CreditChain, CreditHop, IpcMechanism};
+    use super::{CreditChain, CreditHop, IngestEvent, IpcMechanism, OpRequest};
+    use crate::monitor::ResourceOp;
+
+    impl Pack for OpRequest {
+        fn pack(&self, enc: &mut Enc) {
+            self.pid.pack(enc);
+            self.op.pack(enc);
+            self.at.pack(enc);
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(OpRequest {
+                pid: Pid::unpack(dec)?,
+                op: ResourceOp::unpack(dec)?,
+                at: Timestamp::unpack(dec)?,
+            })
+        }
+    }
+
+    impl Pack for IngestEvent {
+        fn pack(&self, enc: &mut Enc) {
+            match self {
+                IngestEvent::Interaction { pid, at } => {
+                    enc.put_u8(0);
+                    pid.pack(enc);
+                    at.pack(enc);
+                }
+                IngestEvent::Request(req) => {
+                    enc.put_u8(1);
+                    req.pack(enc);
+                }
+            }
+        }
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            Ok(match dec.take_u8()? {
+                0 => IngestEvent::Interaction {
+                    pid: Pid::unpack(dec)?,
+                    at: Timestamp::unpack(dec)?,
+                },
+                1 => IngestEvent::Request(OpRequest::unpack(dec)?),
+                _ => return Err(SnapshotError::BadValue("ingest event tag")),
+            })
+        }
+    }
 
     impl Pack for IpcMechanism {
         fn pack(&self, enc: &mut Enc) {
@@ -1127,15 +1289,15 @@ mod tests {
         let delta = SimDuration::from_secs(2);
         let snap = snapshot(Some(live_task(Some(1_000))));
         let mut cache = VerdictCache::new();
-        let pid = Pid::from_raw(7);
+        let id = SlotId::new(0, 0);
 
         let first = PolicyEngine::evaluate_at(&snap, at(1_100));
-        cache.store(pid, ResourceOp::Mic, false, 1, 1, delta, &first);
+        cache.store(id, ResourceOp::Mic, false, 1, 1, delta, &first);
 
         // Same epoch, later op time, still within the window: the hit
         // must equal a fresh evaluation at the new time.
         let hit = cache
-            .lookup(pid, ResourceOp::Mic, false, at(2_200), 1, 1)
+            .lookup(id, ResourceOp::Mic, false, at(2_200), 1, 1)
             .expect("hit");
         assert_eq!(hit, PolicyEngine::evaluate_at(&snap, at(2_200)));
         assert_eq!(
@@ -1147,7 +1309,7 @@ mod tests {
 
         // Past the window the grant must NOT hit: time alone flipped it.
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(3_000), 1, 1)
+            .lookup(id, ResourceOp::Mic, false, at(3_000), 1, 1)
             .is_none());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
@@ -1160,24 +1322,24 @@ mod tests {
         let delta = SimDuration::from_secs(2);
         let snap = snapshot(Some(live_task(Some(1_000))));
         let mut cache = VerdictCache::new();
-        let pid = Pid::from_raw(7);
+        let id = SlotId::new(0, 0);
         let out = PolicyEngine::evaluate_at(&snap, at(1_100));
-        cache.store(pid, ResourceOp::Mic, false, 3, 9, delta, &out);
+        cache.store(id, ResourceOp::Mic, false, 3, 9, delta, &out);
 
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(1_200), 4, 9)
+            .lookup(id, ResourceOp::Mic, false, at(1_200), 4, 9)
             .is_none());
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(1_200), 3, 10)
+            .lookup(id, ResourceOp::Mic, false, at(1_200), 3, 10)
             .is_none());
         assert!(cache
-            .lookup(pid, ResourceOp::Cam, false, at(1_200), 3, 9)
+            .lookup(id, ResourceOp::Cam, false, at(1_200), 3, 9)
             .is_none());
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, true, at(1_200), 3, 9)
+            .lookup(id, ResourceOp::Mic, true, at(1_200), 3, 9)
             .is_none());
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(1_200), 3, 9)
+            .lookup(id, ResourceOp::Mic, false, at(1_200), 3, 9)
             .is_some());
     }
 
@@ -1186,11 +1348,11 @@ mod tests {
         let delta = SimDuration::from_secs(2);
         let snap = snapshot(Some(live_task(Some(0))));
         let mut cache = VerdictCache::new();
-        let pid = Pid::from_raw(7);
+        let id = SlotId::new(0, 0);
         let stale = PolicyEngine::evaluate_at(&snap, at(5_000));
-        cache.store(pid, ResourceOp::Cam, false, 1, 1, delta, &stale);
+        cache.store(id, ResourceOp::Cam, false, 1, 1, delta, &stale);
         let hit = cache
-            .lookup(pid, ResourceOp::Cam, false, at(9_000), 1, 1)
+            .lookup(id, ResourceOp::Cam, false, at(9_000), 1, 1)
             .expect("hit");
         assert_eq!(hit, PolicyEngine::evaluate_at(&snap, at(9_000)));
         match hit.trace {
@@ -1206,15 +1368,15 @@ mod tests {
         let delta = SimDuration::from_secs(2);
         let snap = snapshot(Some(live_task(None)));
         let mut cache = VerdictCache::new();
-        let pid = Pid::from_raw(7);
+        let id = SlotId::new(0, 0);
         let out = PolicyEngine::evaluate_at(&snap, at(10));
-        cache.store(pid, ResourceOp::Mic, false, 1, 1, delta, &out);
+        cache.store(id, ResourceOp::Mic, false, 1, 1, delta, &out);
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(20), 1, 1)
+            .lookup(id, ResourceOp::Mic, false, at(20), 1, 1)
             .is_some());
         cache.clear();
         assert!(cache
-            .lookup(pid, ResourceOp::Mic, false, at(20), 1, 1)
+            .lookup(id, ResourceOp::Mic, false, at(20), 1, 1)
             .is_none());
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);

@@ -5,13 +5,24 @@
 //! interaction timestamp propagates to children — policy **P1**), and the
 //! parent/child tree is what constrains `ptrace` ("do not allow attaching to
 //! processes that are not direct descendants of the debugging process").
+//!
+//! Storage is a generation-checked [`Slab`] arena plus a dense
+//! pid-indexed side table (`by_pid`), so the decide hot path resolves a pid
+//! to a task with two array indexes instead of a `BTreeMap` walk. Pids are
+//! sequential and never reused, which keeps `by_pid` a straight `Vec`; a
+//! reaped pid leaves a dead entry behind whose generation check fails, so a
+//! stale [`SlotId`] can never alias a later task. The snapshot codec still
+//! emits the legacy sorted `(pid, task)` layout byte-for-byte and rebuilds
+//! the arena on decode.
 
-use std::collections::BTreeMap;
-
-use overhaul_sim::{Pid, Uid};
+use overhaul_sim::{Pid, Slab, SlotId, Uid};
 
 use crate::error::{Errno, SysResult};
 use crate::task::{FileDescription, Task, TaskState};
+
+/// Sentinel for a pid that has no live-or-zombie task. Index `u32::MAX`
+/// can never be a real slot (the arena would need 4 billion live tasks).
+const DEAD: SlotId = SlotId::new(u32::MAX, u32::MAX);
 
 /// ```
 /// use overhaul_kernel::process::ProcessTable;
@@ -30,7 +41,9 @@ use crate::task::{FileDescription, Task, TaskState};
 /// The table of all simulated processes.
 #[derive(Debug, Clone)]
 pub struct ProcessTable {
-    tasks: BTreeMap<Pid, Task>,
+    arena: Slab<Task>,
+    /// Indexed by raw pid; `DEAD` for pids never issued or already reaped.
+    by_pid: Vec<SlotId>,
     next_pid: u32,
 }
 
@@ -44,42 +57,94 @@ impl ProcessTable {
     /// Creates a table containing only `init` (pid 1, root,
     /// `/sbin/init`).
     pub fn new() -> Self {
-        let mut tasks = BTreeMap::new();
-        tasks.insert(
-            Pid::INIT,
-            Task::new(Pid::INIT, None, Uid::ROOT, "/sbin/init"),
-        );
-        ProcessTable { tasks, next_pid: 2 }
+        let mut table = ProcessTable {
+            arena: Slab::new(),
+            by_pid: Vec::new(),
+            next_pid: 2,
+        };
+        table.install(Task::new(Pid::INIT, None, Uid::ROOT, "/sbin/init"));
+        table
+    }
+
+    /// Inserts `task` into the arena and wires up the pid index.
+    fn install(&mut self, task: Task) -> SlotId {
+        let pid = task.pid().as_raw() as usize;
+        let id = self.arena.insert(task);
+        if self.by_pid.len() <= pid {
+            self.by_pid.resize(pid + 1, DEAD);
+        }
+        self.by_pid[pid] = id;
+        id
+    }
+
+    /// Resolves a pid to its live-or-zombie arena slot. This is the decide
+    /// hot path's entire lookup: one bounds-checked index plus the arena's
+    /// generation check.
+    #[inline]
+    pub fn slot_of(&self, pid: Pid) -> Option<SlotId> {
+        let id = *self.by_pid.get(pid.as_raw() as usize)?;
+        if id == DEAD {
+            return None;
+        }
+        debug_assert!(self.arena.contains(id));
+        Some(id)
+    }
+
+    /// Direct slot access (generation-checked).
+    #[inline]
+    pub fn get_by_slot(&self, id: SlotId) -> Option<&Task> {
+        self.arena.get(id)
+    }
+
+    /// Resolves `pid` to `(slot, task)` in one step.
+    #[inline]
+    pub fn slot_entry(&self, pid: Pid) -> Option<(SlotId, &Task)> {
+        let id = self.slot_of(pid)?;
+        Some((id, self.arena.get(id)?))
+    }
+
+    /// Number of arena slots ever allocated (live + free); per-task side
+    /// tables (like the verdict cache) size themselves off this.
+    pub fn slot_capacity(&self) -> usize {
+        self.arena.slot_capacity()
     }
 
     /// Looks up a live-or-zombie task.
     pub fn get(&self, pid: Pid) -> SysResult<&Task> {
-        self.tasks.get(&pid).ok_or(Errno::Esrch)
+        self.slot_of(pid)
+            .and_then(|id| self.arena.get(id))
+            .ok_or(Errno::Esrch)
     }
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, pid: Pid) -> SysResult<&mut Task> {
-        self.tasks.get_mut(&pid).ok_or(Errno::Esrch)
+        match self.slot_of(pid) {
+            Some(id) => self.arena.get_mut(id).ok_or(Errno::Esrch),
+            None => Err(Errno::Esrch),
+        }
     }
 
     /// Whether `pid` exists and is running.
     pub fn is_running(&self, pid: Pid) -> bool {
-        self.tasks.get(&pid).map(Task::is_running).unwrap_or(false)
+        self.get(pid).map(Task::is_running).unwrap_or(false)
     }
 
     /// Iterates over all tasks in pid order.
     pub fn iter(&self) -> impl Iterator<Item = &Task> {
-        self.tasks.values()
+        self.by_pid
+            .iter()
+            .filter(|&&id| id != DEAD)
+            .filter_map(|&id| self.arena.get(id))
     }
 
     /// Number of tasks (live + zombie).
     pub fn len(&self) -> usize {
-        self.tasks.len()
+        self.arena.len()
     }
 
     /// Whether only init exists.
     pub fn is_empty(&self) -> bool {
-        self.tasks.len() <= 1
+        self.arena.len() <= 1
     }
 
     /// Creates a brand-new process that is a child of `parent` running a
@@ -95,16 +160,15 @@ impl ProcessTable {
     /// `fork(2)`: duplicates `parent` into a new child, copying the fd table
     /// and the interaction timestamp (**P1**).
     pub fn fork(&mut self, parent: Pid) -> SysResult<Pid> {
-        let parent_task = self.tasks.get(&parent).ok_or(Errno::Esrch)?;
+        let child_pid = Pid::from_raw(self.next_pid);
+        let parent_task = self.get(parent)?;
         if !parent_task.is_running() {
             return Err(Errno::Esrch);
         }
-        let child_pid = Pid::from_raw(self.next_pid);
-        self.next_pid += 1;
         let child = parent_task.fork_into(child_pid);
-        self.tasks.insert(child_pid, child);
-        self.tasks
-            .get_mut(&parent)
+        self.next_pid += 1;
+        self.install(child);
+        self.get_mut(parent)
             .expect("parent checked above")
             .add_child(child_pid);
         Ok(child_pid)
@@ -138,15 +202,11 @@ impl ProcessTable {
             (task.drain_fds(), task.children().to_vec())
         };
         for child in children {
-            if let Some(child_task) = self.tasks.get_mut(&child) {
+            if let Ok(child_task) = self.get_mut(child) {
                 child_task.set_ppid(Some(Pid::INIT));
             }
-            self.tasks
-                .get_mut(&pid)
-                .expect("exists")
-                .remove_child(child);
-            self.tasks
-                .get_mut(&Pid::INIT)
+            self.get_mut(pid).expect("exists").remove_child(child);
+            self.get_mut(Pid::INIT)
                 .expect("init exists")
                 .add_child(child);
         }
@@ -163,7 +223,10 @@ impl ProcessTable {
         match self.get(child)?.state() {
             TaskState::Running => Err(Errno::Eagain),
             TaskState::Zombie { code } => {
-                self.tasks.remove(&child);
+                if let Some(id) = self.slot_of(child) {
+                    self.arena.remove(id);
+                    self.by_pid[child.as_raw() as usize] = DEAD;
+                }
                 self.get_mut(parent)?.remove_child(child);
                 Ok(code)
             }
@@ -174,8 +237,8 @@ impl ProcessTable {
     pub fn is_descendant_of(&self, candidate: Pid, ancestor: Pid) -> bool {
         let mut cursor = candidate;
         // Bounded walk to guard against (impossible) ppid cycles.
-        for _ in 0..self.tasks.len() + 1 {
-            match self.tasks.get(&cursor).and_then(Task::ppid) {
+        for _ in 0..self.arena.len() + 1 {
+            match self.get(cursor).ok().and_then(Task::ppid) {
                 Some(ppid) if ppid == ancestor => return true,
                 Some(ppid) => cursor = ppid,
                 None => return false,
@@ -186,8 +249,7 @@ impl ProcessTable {
 
     /// Pids of all running tasks.
     pub fn running_pids(&self) -> Vec<Pid> {
-        self.tasks
-            .values()
+        self.iter()
             .filter(|t| t.is_running())
             .map(Task::pid)
             .collect()
@@ -196,12 +258,53 @@ impl ProcessTable {
 
 mod pack {
     //! Snapshot codec for the process table.
+    //!
+    //! Emits the pre-arena layout byte-for-byte: a `u64` task count, the
+    //! `(pid, task)` pairs in ascending pid order (exactly what the old
+    //! `BTreeMap<Pid, Task>` field produced), then `next_pid`. Arena slots,
+    //! generations, and the pid index are derived state rebuilt on decode,
+    //! so state hashes are unchanged across the refactor.
 
-    use overhaul_sim::impl_pack;
+    use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
+    use overhaul_sim::Pid;
 
     use super::ProcessTable;
+    use crate::task::Task;
 
-    impl_pack!(ProcessTable { tasks, next_pid });
+    impl Pack for ProcessTable {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u64(self.arena.len() as u64);
+            for task in self.iter() {
+                task.pid().pack(enc);
+                task.pack(enc);
+            }
+            enc.put_u32(self.next_pid);
+        }
+
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            let count = dec.take_u64()?;
+            let mut table = ProcessTable {
+                arena: overhaul_sim::Slab::new(),
+                by_pid: Vec::new(),
+                next_pid: 2,
+            };
+            let mut prev: Option<Pid> = None;
+            for _ in 0..count {
+                let pid = Pid::unpack(dec)?;
+                if prev.is_some_and(|p| p >= pid) {
+                    return Err(SnapshotError::BadValue("process table pid order"));
+                }
+                prev = Some(pid);
+                let task = Task::unpack(dec)?;
+                if task.pid() != pid {
+                    return Err(SnapshotError::BadValue("process table pid mismatch"));
+                }
+                table.install(task);
+            }
+            table.next_pid = dec.take_u32()?;
+            Ok(table)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,5 +440,54 @@ mod tests {
         let pids = table.running_pids();
         assert!(pids.contains(&b));
         assert!(!pids.contains(&a));
+    }
+
+    #[test]
+    fn slot_of_reaped_pid_is_dead_and_slot_is_reused_with_new_generation() {
+        let mut table = ProcessTable::new();
+        let a = table.fork(Pid::INIT).unwrap();
+        let a_slot = table.slot_of(a).unwrap();
+        table.exit(a, 0).unwrap();
+        assert!(
+            table.slot_of(a).is_some(),
+            "zombies still resolve until reaped"
+        );
+        table.wait(Pid::INIT, a).unwrap();
+        assert_eq!(table.slot_of(a), None);
+        assert!(table.get_by_slot(a_slot).is_none(), "stale slot id is dead");
+
+        let b = table.fork(Pid::INIT).unwrap();
+        let b_slot = table.slot_of(b).unwrap();
+        assert_eq!(b_slot.index(), a_slot.index(), "freed slot is reused");
+        assert_ne!(b_slot.gen(), a_slot.gen(), "with a bumped generation");
+        assert!(table.get_by_slot(a_slot).is_none());
+        assert_eq!(table.get_by_slot(b_slot).unwrap().pid(), b);
+    }
+
+    #[test]
+    fn pack_layout_matches_legacy_btreemap_encoding() {
+        use overhaul_sim::snapshot::{Dec, Enc, Pack};
+        use std::collections::BTreeMap;
+
+        let mut table = ProcessTable::new();
+        let a = table.fork(Pid::INIT).unwrap();
+        let b = table.spawn(a, "/usr/bin/cam").unwrap();
+        table.exit(b, 3).unwrap();
+
+        let mut enc = Enc::new();
+        table.pack(&mut enc);
+        let arena_bytes = enc.into_bytes();
+
+        // Re-encode through the legacy shape: BTreeMap<Pid, Task> + u32.
+        let map: BTreeMap<Pid, Task> = table.iter().map(|t| (t.pid(), t.clone())).collect();
+        let mut legacy = Enc::new();
+        map.pack(&mut legacy);
+        legacy.put_u32(table.next_pid);
+        assert_eq!(arena_bytes, legacy.into_bytes());
+
+        let restored = ProcessTable::unpack(&mut Dec::new(&arena_bytes)).unwrap();
+        assert_eq!(restored.len(), table.len());
+        assert_eq!(restored.next_pid, table.next_pid);
+        assert!(restored.is_running(a));
     }
 }

@@ -11,9 +11,9 @@
 //!   ledger (the audit log is rebuilt from it as a projection on decode),
 //!   and the in-flight push/reorder buffers. Serialized field by field in
 //!   a fixed order.
-//! * **Derived state** — the epoch-keyed [`crate::policy::VerdictCache`],
-//!   the `explain_last` map, and the per-connection duplicate-suppression
-//!   sets. Never serialized; [`Kernel::import_snapshot`] rebuilds them
+//! * **Derived state** — the epoch-keyed [`crate::policy::VerdictCache`]
+//!   (which also holds the per-task `explain_last` cells) and the
+//!   per-connection duplicate-suppression sets. Never serialized; [`Kernel::import_snapshot`] rebuilds them
 //!   empty and counts the rebuilds in [`SnapshotStats`], so a restore
 //!   doubles as a cache-coherence check: if a rebuilt-cold cache could
 //!   change any verdict, span, or watermark, the replay-determinism suite
@@ -22,8 +22,6 @@
 //! The shared virtual clock, tracer and fault plan are owned by the
 //! system harness, which serializes each once and hands the imported
 //! handles back in — the kernel never duplicates them.
-
-use std::collections::HashMap;
 
 use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
 use overhaul_sim::{impl_pack, Clock, FaultPlan, MetricsRegistry, Tracer};
@@ -122,8 +120,8 @@ impl Kernel {
     /// [`Kernel::export_snapshot`], wiring in the shared `clock`, `tracer`
     /// and `fault` handles the system harness imported.
     ///
-    /// The verdict cache, `explain_last` map, and per-connection
-    /// dup-suppression sets come back *empty* (counted in
+    /// The verdict cache (including its `explain_last` cells) and
+    /// per-connection dup-suppression sets come back *empty* (counted in
     /// [`SnapshotStats`]); metrics start empty until
     /// [`Kernel::import_metrics_snapshot`] replays the aux section.
     ///
@@ -158,7 +156,6 @@ impl Kernel {
             push_buffer: Pack::unpack(dec)?,
             reorder_buffer: Pack::unpack(dec)?,
             verdict_cache: VerdictCache::new(),
-            last_decisions: HashMap::new(),
             metrics: MetricsRegistry::new(),
             snapshot_stats: SnapshotStats::default(),
             clock,

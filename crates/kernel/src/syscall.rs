@@ -153,6 +153,13 @@ impl Kernel {
     /// [`Errno::Esrch`] if already dead, [`Errno::Eperm`] for init.
     pub fn sys_exit(&mut self, pid: Pid, code: i32) -> SysResult<()> {
         let drained = self.tasks.exit(pid, code)?;
+        // Drop the exiting task's cached verdicts and explain-last state:
+        // a zombie can never act again, and eager eviction is what keeps
+        // the per-task derived state bounded by the live task count under
+        // unbounded churn.
+        if let Some(slot) = self.tasks.slot_of(pid) {
+            self.verdict_cache.evict(slot);
+        }
         for desc in drained {
             self.release_description(pid, desc);
         }
@@ -231,7 +238,14 @@ impl Kernel {
     /// [`Errno::Eagain`] while the child runs, [`Errno::Esrch`] for
     /// non-children.
     pub fn sys_waitpid(&mut self, parent: Pid, child: Pid) -> SysResult<i32> {
-        self.tasks.wait(parent, child)
+        let slot = self.tasks.slot_of(child);
+        let code = self.tasks.wait(parent, child)?;
+        // Reaping frees the arena slot for reuse; evict any cells decided
+        // about the zombie after its exit-time eviction.
+        if let Some(slot) = slot {
+            self.verdict_cache.evict(slot);
+        }
+        Ok(code)
     }
 
     /// `PTRACE_ATTACH` with Overhaul's hardening (freezes the tracee's

@@ -118,6 +118,7 @@ impl AuditLog {
     }
 
     /// Appends an event.
+    #[inline]
     pub fn record(
         &mut self,
         at: Timestamp,

@@ -201,6 +201,7 @@ pub struct LedgerEntry {
 impl LedgerEntry {
     /// A projected (non-silent) entry with no structured effect — the
     /// shape of a legacy audit row.
+    #[inline]
     pub fn event(
         at: Timestamp,
         category: AuditCategory,
@@ -218,6 +219,7 @@ impl LedgerEntry {
     }
 
     /// Attaches a structured effect.
+    #[inline]
     pub fn with_effect(mut self, effect: Effect) -> Self {
         self.effect = Some(effect);
         self
@@ -293,13 +295,17 @@ impl fmt::Display for LedgerError {
 impl std::error::Error for LedgerError {}
 
 /// Seals one entry onto the chain: FNV-1a over the packed
-/// `(prev, seq, entry)`.
-fn seal(prev: u64, seq: u64, entry: &LedgerEntry) -> u64 {
-    let mut enc = Enc::new();
-    prev.pack(&mut enc);
-    seq.pack(&mut enc);
-    entry.pack(&mut enc);
-    fnv1a64(enc.bytes())
+/// `(prev, seq, entry)`, staged through `scratch` (cleared first) so hot
+/// append loops reuse one buffer instead of allocating per record. The
+/// sealed bytes — and so every chain head — are identical to packing into
+/// a fresh encoder.
+#[inline]
+fn seal(scratch: &mut Enc, prev: u64, seq: u64, entry: &LedgerEntry) -> u64 {
+    scratch.clear();
+    prev.pack(scratch);
+    seq.pack(scratch);
+    entry.pack(scratch);
+    fnv1a64(scratch.bytes())
 }
 
 /// The append-only hash-chained history, plus its materialized audit
@@ -321,6 +327,9 @@ pub struct Ledger {
     /// The legacy audit view, materialized at append time from non-silent
     /// entries.
     projection: AuditLog,
+    /// Reusable seal staging buffer (never serialized or compared; purely
+    /// an allocation-avoidance cache for the append hot path).
+    scratch: Enc,
 }
 
 impl Ledger {
@@ -331,14 +340,17 @@ impl Ledger {
             base_head: GENESIS_HEAD,
             entries: Vec::new(),
             projection: AuditLog::new(),
+            scratch: Enc::new(),
         }
     }
 
     /// Appends an entry, sealing it onto the chain and (unless silent)
     /// projecting it into the audit view. Returns the new chain head.
+    #[inline]
     pub fn append(&mut self, entry: LedgerEntry) -> u64 {
         let seq = self.next_seq();
-        let chain = seal(self.head(), seq, &entry);
+        let prev = self.head();
+        let chain = seal(&mut self.scratch, prev, seq, &entry);
         if !entry.silent {
             self.projection
                 .record(entry.at, entry.category, entry.pid, entry.detail.clone());
@@ -349,6 +361,7 @@ impl Ledger {
 
     /// The current chain head (covers every entry ever appended,
     /// including ones discarded by [`Ledger::clear`]).
+    #[inline]
     pub fn head(&self) -> u64 {
         self.entries.last().map_or(self.base_head, |e| e.chain)
     }
@@ -375,6 +388,7 @@ impl Ledger {
             base_head,
             entries,
             projection,
+            scratch: Enc::new(),
         }
     }
 
@@ -424,6 +438,7 @@ impl Ledger {
     /// [`LedgerError::ChainMismatch`] on any payload or seal corruption.
     pub fn verify_chain(&self) -> Result<(), LedgerError> {
         let mut prev = self.base_head;
+        let mut scratch = Enc::new();
         for (i, sealed) in self.entries.iter().enumerate() {
             let expected_seq = self.base_seq + i as u64;
             if sealed.seq != expected_seq {
@@ -432,7 +447,7 @@ impl Ledger {
                     found: sealed.seq,
                 });
             }
-            let expected = seal(prev, sealed.seq, &sealed.entry);
+            let expected = seal(&mut scratch, prev, sealed.seq, &sealed.entry);
             if sealed.chain != expected {
                 return Err(LedgerError::ChainMismatch {
                     seq: sealed.seq,

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod artifact;
 pub mod audit;
 pub mod fault;
@@ -55,6 +56,7 @@ pub mod time;
 pub mod trace;
 pub mod work;
 
+pub use arena::{Interner, Slab, SlotId, Sym};
 pub use artifact::BenchArtifact;
 pub use audit::{AuditCategory, AuditEvent, AuditLog};
 pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};

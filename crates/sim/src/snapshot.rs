@@ -82,7 +82,7 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// A little-endian binary encoder.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Enc {
     buf: Vec<u8>,
 }
@@ -91,6 +91,12 @@ impl Enc {
     /// An empty encoder.
     pub fn new() -> Self {
         Enc::default()
+    }
+
+    /// Truncates to empty, keeping the allocation. Hot loops (ledger
+    /// sealing) reuse one encoder instead of allocating per record.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// The bytes written so far.
@@ -668,6 +674,7 @@ impl Snapshot {
 
 /// FNV-1a, 64-bit: the canonical state hash. Dependency-free and stable
 /// across platforms and runs.
+#[inline]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {

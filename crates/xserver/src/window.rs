@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use overhaul_sim::Timestamp;
+use overhaul_sim::{Slab, SlotId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::geometry::{Point, Rect};
@@ -104,19 +104,71 @@ impl Window {
 /// assert!(tree.is_visible(window));
 /// ```
 /// The window tree (flat stacking model: all top-level).
+///
+/// Windows live in a generation-checked [`Slab`]; window ids are issued
+/// sequentially and never reused, so `by_id` — a dense vector indexed by
+/// raw id — resolves an id to its arena slot with one bounds check.
+/// Destroyed ids point at a `DEAD` sentinel forever, so a lookup for
+/// one fails exactly like an unknown id.
 #[derive(Debug, Clone, Default)]
 pub struct WindowTree {
-    windows: BTreeMap<WindowId, Window>,
+    arena: Slab<Window>,
+    /// Arena slot of each issued id, indexed by `WindowId::as_raw` (index
+    /// 0 is unused: ids start at 1). [`DEAD`] marks destroyed ids.
+    by_id: Vec<SlotId>,
     /// Bottom-to-top stacking order of all windows (mapped or not; only
     /// mapped windows participate in occlusion and hit tests).
     stacking: Vec<WindowId>,
     next: u64,
 }
 
+/// Slot sentinel for destroyed (or never-issued) window ids. The slab can
+/// never issue it: a slab that large would exceed address space.
+const DEAD: SlotId = SlotId::new(u32::MAX, u32::MAX);
+
 impl WindowTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
         WindowTree::default()
+    }
+
+    /// The arena slot of `id`, if the window is alive.
+    #[inline]
+    fn slot_of(&self, id: WindowId) -> Option<SlotId> {
+        let slot = *self.by_id.get(id.as_raw() as usize)?;
+        (slot != DEAD).then_some(slot)
+    }
+
+    /// The live window `id`, if any.
+    #[inline]
+    fn window(&self, id: WindowId) -> Option<&Window> {
+        self.arena.get(self.slot_of(id)?)
+    }
+
+    /// The live window `id`, mutably, if any.
+    #[inline]
+    fn window_mut(&mut self, id: WindowId) -> Option<&mut Window> {
+        let slot = self.slot_of(id)?;
+        self.arena.get_mut(slot)
+    }
+
+    /// Installs `window` into the arena and the dense id index.
+    fn install(&mut self, window: Window) {
+        let raw = window.id.as_raw() as usize;
+        let slot = self.arena.insert(window);
+        if raw >= self.by_id.len() {
+            self.by_id.resize(raw + 1, DEAD);
+        }
+        self.by_id[raw] = slot;
+    }
+
+    /// The live windows in ascending id order (the order `BTreeMap`
+    /// iteration used to give).
+    fn windows_by_id(&self) -> impl Iterator<Item = &Window> {
+        self.by_id
+            .iter()
+            .filter(|slot| **slot != DEAD)
+            .filter_map(|slot| self.arena.get(*slot))
     }
 
     /// Creates an unmapped window for `owner`, initially filled with a
@@ -125,29 +177,26 @@ impl WindowTree {
         self.next += 1;
         let id = WindowId(self.next);
         let fill = (id.as_raw() % 251) as u8;
-        self.windows.insert(
+        self.install(Window {
             id,
-            Window {
-                id,
-                owner,
-                rect,
-                mapped: false,
-                visible_since: None,
-                pixels: vec![fill; rect.area() as usize],
-                properties: BTreeMap::new(),
-            },
-        );
+            owner,
+            rect,
+            mapped: false,
+            visible_since: None,
+            pixels: vec![fill; rect.area() as usize],
+            properties: BTreeMap::new(),
+        });
         self.stacking.push(id);
         id
     }
 
     /// Looks up a window.
     pub fn get(&self, id: WindowId) -> Result<&Window, XError> {
-        self.windows.get(&id).ok_or(XError::BadWindow)
+        self.window(id).ok_or(XError::BadWindow)
     }
 
     fn get_mut(&mut self, id: WindowId) -> Result<&mut Window, XError> {
-        self.windows.get_mut(&id).ok_or(XError::BadWindow)
+        self.window_mut(id).ok_or(XError::BadWindow)
     }
 
     /// Maps a window (also raises it, like most window managers do) and
@@ -167,7 +216,7 @@ impl WindowTree {
 
     /// Raises a window to the top of the stacking order.
     pub fn raise(&mut self, id: WindowId, now: Timestamp) -> Result<(), XError> {
-        if !self.windows.contains_key(&id) {
+        if self.slot_of(id).is_none() {
             return Err(XError::BadWindow);
         }
         self.stacking.retain(|w| *w != id);
@@ -176,9 +225,12 @@ impl WindowTree {
         Ok(())
     }
 
-    /// Destroys a window.
+    /// Destroys a window. The freed arena slot is recycled by the next
+    /// `create` (under a new generation); the id itself is dead forever.
     pub fn destroy(&mut self, id: WindowId, now: Timestamp) -> Result<(), XError> {
-        self.windows.remove(&id).ok_or(XError::BadWindow)?;
+        let slot = self.slot_of(id).ok_or(XError::BadWindow)?;
+        self.arena.remove(slot);
+        self.by_id[id.as_raw() as usize] = DEAD;
         self.stacking.retain(|w| *w != id);
         self.recompute_visibility(now);
         Ok(())
@@ -188,14 +240,16 @@ impl WindowTree {
     /// returning how many were destroyed.
     pub fn destroy_all_for(&mut self, client: ClientId, now: Timestamp) -> usize {
         let doomed: Vec<WindowId> = self
-            .windows
-            .values()
+            .windows_by_id()
             .filter(|w| w.owner == client)
             .map(|w| w.id)
             .collect();
         let count = doomed.len();
         for id in &doomed {
-            self.windows.remove(id);
+            if let Some(slot) = self.slot_of(*id) {
+                self.arena.remove(slot);
+                self.by_id[id.as_raw() as usize] = DEAD;
+            }
         }
         self.stacking.retain(|w| !doomed.contains(w));
         self.recompute_visibility(now);
@@ -249,8 +303,7 @@ impl WindowTree {
             .iter()
             .rev()
             .find(|id| {
-                self.windows
-                    .get(id)
+                self.window(**id)
                     .map(|w| w.mapped && w.rect.contains(p))
                     .unwrap_or(false)
             })
@@ -260,8 +313,7 @@ impl WindowTree {
     /// Whether `id` is currently visible (mapped and not occluded past the
     /// limit).
     pub fn is_visible(&self, id: WindowId) -> bool {
-        self.windows
-            .get(&id)
+        self.window(id)
             .map(|w| w.visible_since.is_some())
             .unwrap_or(false)
     }
@@ -273,7 +325,7 @@ impl WindowTree {
         client: ClientId,
         visible_since_at_most: Timestamp,
     ) -> bool {
-        self.windows.values().any(|w| {
+        self.windows_by_id().any(|w| {
             w.owner == client
                 && matches!(w.visible_since, Some(since) if since <= visible_since_at_most)
         })
@@ -286,17 +338,17 @@ impl WindowTree {
 
     /// All windows owned by `client`.
     pub fn windows_of(&self, client: ClientId) -> impl Iterator<Item = &Window> {
-        self.windows.values().filter(move |w| w.owner == client)
+        self.windows_by_id().filter(move |w| w.owner == client)
     }
 
     /// Number of windows.
     pub fn len(&self) -> usize {
-        self.windows.len()
+        self.arena.len()
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty()
+        self.arena.is_empty()
     }
 
     /// Recomputes `visible_since` for every window after a structural
@@ -305,7 +357,7 @@ impl WindowTree {
     pub fn recompute_visibility(&mut self, now: Timestamp) {
         let order = self.stacking.clone();
         for (index, id) in order.iter().enumerate() {
-            let Some(window) = self.windows.get(id) else {
+            let Some(window) = self.window(*id) else {
                 continue;
             };
             let visible = if !window.mapped || window.rect.area() == 0 {
@@ -313,13 +365,13 @@ impl WindowTree {
             } else {
                 let covers: Vec<Rect> = order[index + 1..]
                     .iter()
-                    .filter_map(|above| self.windows.get(above))
+                    .filter_map(|above| self.window(*above))
                     .filter(|w| w.mapped)
                     .map(|w| w.rect)
                     .collect();
                 window.rect.coverage_by(&covers) <= OCCLUSION_LIMIT
             };
-            let window = self.windows.get_mut(id).expect("exists");
+            let window = self.window_mut(*id).expect("exists");
             window.visible_since = match (visible, window.visible_since) {
                 (true, Some(since)) => Some(since),
                 (true, None) => Some(now),
@@ -330,9 +382,15 @@ impl WindowTree {
 }
 
 mod pack {
-    //! Snapshot codec for the window tree.
+    //! Snapshot codec for the window tree. The tree encodes as the
+    //! `BTreeMap<WindowId, Window>` layout it historically used (count,
+    //! then id-sorted `(id, window)` pairs), byte for byte, so state
+    //! hashes and committed snapshots are unaffected by the arena; the
+    //! slab and dense id index are rebuilt on decode.
 
-    use overhaul_sim::{impl_pack, impl_pack_newtype};
+    use std::collections::BTreeMap;
+
+    use overhaul_sim::{impl_pack, impl_pack_newtype, Dec, Enc, Pack, SnapshotError};
 
     use super::{Window, WindowId, WindowTree};
 
@@ -346,11 +404,36 @@ mod pack {
         pixels,
         properties
     });
-    impl_pack!(WindowTree {
-        windows,
-        stacking,
-        next
-    });
+
+    impl Pack for WindowTree {
+        fn pack(&self, enc: &mut Enc) {
+            enc.put_u64(self.arena.len() as u64);
+            for window in self.windows_by_id() {
+                window.id.pack(enc);
+                window.pack(enc);
+            }
+            self.stacking.pack(enc);
+            enc.put_u64(self.next);
+        }
+
+        fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+            let windows = BTreeMap::<WindowId, Window>::unpack(dec)?;
+            let stacking = Vec::<WindowId>::unpack(dec)?;
+            let next = dec.take_u64()?;
+            let mut tree = WindowTree {
+                stacking,
+                next,
+                ..WindowTree::default()
+            };
+            for (id, window) in windows {
+                if id != window.id || id.as_raw() == 0 || id.as_raw() > next {
+                    return Err(SnapshotError::BadValue("window id"));
+                }
+                tree.install(window);
+            }
+            Ok(tree)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -505,5 +588,65 @@ mod tests {
             tree.map(WindowId::from_raw(99), ts(0)),
             Err(XError::BadWindow)
         );
+    }
+
+    #[test]
+    fn destroyed_id_stays_dead_after_slot_reuse() {
+        let mut tree = WindowTree::new();
+        let a = tree.create(client(1), Rect::new(0, 0, 10, 10));
+        tree.destroy(a, ts(0)).unwrap();
+        // The next create recycles a's arena slot under a new generation...
+        let b = tree.create(client(1), Rect::new(0, 0, 10, 10));
+        assert_ne!(a, b, "window ids are never reused");
+        // ...and the dead id must not resolve to the recycled slot.
+        assert_eq!(tree.get(a).err(), Some(XError::BadWindow));
+        assert!(tree.get(b).is_ok());
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn pack_layout_matches_legacy_btreemap_encoding() {
+        use overhaul_sim::{Dec, Enc, Pack};
+
+        let mut tree = WindowTree::new();
+        let a = tree.create(client(1), Rect::new(0, 0, 4, 4));
+        let b = tree.create(client(2), Rect::new(1, 1, 4, 4));
+        let c = tree.create(client(1), Rect::new(2, 2, 4, 4));
+        tree.map(a, ts(5)).unwrap();
+        tree.map(c, ts(7)).unwrap();
+        tree.raise(a, ts(9)).unwrap();
+        // Churn so the arena's slot order diverges from id order.
+        tree.destroy(b, ts(11)).unwrap();
+        let d = tree.create(client(3), Rect::new(3, 3, 4, 4));
+        tree.set_property(d, Atom::new("N"), b"x".to_vec()).unwrap();
+
+        let mut legacy_windows = BTreeMap::new();
+        for w in tree.windows_by_id() {
+            legacy_windows.insert(w.id, w.clone());
+        }
+        let mut legacy = Enc::new();
+        legacy_windows.pack(&mut legacy);
+        tree.stacking.pack(&mut legacy);
+        legacy.put_u64(tree.next);
+
+        let mut current = Enc::new();
+        tree.pack(&mut current);
+        assert_eq!(current.bytes(), legacy.bytes());
+
+        let mut dec = Dec::new(current.bytes());
+        let restored = WindowTree::unpack(&mut dec).expect("decode");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(restored.len(), tree.len());
+        assert_eq!(restored.stacking_order(), tree.stacking_order());
+        assert_eq!(restored.get(a).unwrap().visible_since(), Some(ts(5)));
+        assert_eq!(
+            restored.get(d).unwrap().property(&Atom::new("N")),
+            Some(&b"x"[..])
+        );
+        assert_eq!(restored.get(b).err(), Some(XError::BadWindow));
+        // Re-encoding the rebuilt tree is a fixed point.
+        let mut again = Enc::new();
+        restored.pack(&mut again);
+        assert_eq!(again.bytes(), current.bytes());
     }
 }
