@@ -86,6 +86,18 @@ pub enum Expectation {
     Blocked,
 }
 
+impl Expectation {
+    /// Whether an observed grant/deny satisfies this expectation. The
+    /// campaign engine's richer taxonomy ([`crate::campaign::Expectation`])
+    /// mirrors this predicate and adds the expected-bypass case.
+    pub fn satisfied_by(self, granted: bool) -> bool {
+        match self {
+            Expectation::Granted => granted,
+            Expectation::Blocked => !granted,
+        }
+    }
+}
+
 /// One scripted resource access of an application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Access {
@@ -171,7 +183,9 @@ impl SessionOutcome {
     pub fn false_positives(&self) -> usize {
         self.results
             .iter()
-            .filter(|r| r.access.expect == Expectation::Granted && !r.granted)
+            .filter(|r| {
+                r.access.expect == Expectation::Granted && !r.access.expect.satisfied_by(r.granted)
+            })
             .count()
     }
 
@@ -180,7 +194,9 @@ impl SessionOutcome {
     pub fn expected_blocks(&self) -> usize {
         self.results
             .iter()
-            .filter(|r| r.access.expect == Expectation::Blocked && !r.granted)
+            .filter(|r| {
+                r.access.expect == Expectation::Blocked && r.access.expect.satisfied_by(r.granted)
+            })
             .count()
     }
 
@@ -189,7 +205,9 @@ impl SessionOutcome {
     pub fn protection_failures(&self) -> usize {
         self.results
             .iter()
-            .filter(|r| r.access.expect == Expectation::Blocked && r.granted)
+            .filter(|r| {
+                r.access.expect == Expectation::Blocked && !r.access.expect.satisfied_by(r.granted)
+            })
             .count()
     }
 

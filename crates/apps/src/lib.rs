@@ -12,12 +12,16 @@
 //!   protected-vs-unprotected comparison;
 //! * [`dbus`] — a message bus layered on kernel IPC, demonstrating that
 //!   higher-level IPC "built on these OS primitives (are) automatically
-//!   covered" (and its over-approximation through shared daemons).
+//!   covered" (and its over-approximation through shared daemons);
+//! * [`campaign`] — multi-stage, multi-process adversarial campaigns with
+//!   per-stage expectations (including documented bypasses) and the
+//!   attack-class × mechanism defense matrix.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod behavior;
+pub mod campaign;
 pub mod corpus;
 pub mod dbus;
 pub mod malware;
@@ -26,6 +30,10 @@ pub mod workload;
 pub use behavior::{
     run_session, Access, AppSpec, Category, Expectation, IpcKind, ResourceKind, SessionOutcome,
     Trigger,
+};
+pub use campaign::{
+    catalog, outcome_granted, run_campaign, AttackClass, Campaign, CampaignDriver, CampaignKind,
+    CampaignReport, DefenseMatrix, Stage, StageAction, StageVerdict,
 };
 pub use malware::{CycleLoot, Spyware};
 pub use workload::{run_empirical_experiment, EmpiricalReport, WorkloadConfig, CLIPBOARD_SECRETS};

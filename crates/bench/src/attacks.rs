@@ -1,12 +1,17 @@
 //! The attack matrix: every §II/§IV attack crossed with machine
-//! configurations (protected, kernel-integrated, stock baseline).
+//! configurations (protected, kernel-integrated, stock baseline), plus
+//! the multi-stage campaign defense matrix layered on top.
 //!
 //! Shared by the `attack_matrix` integration test (which asserts the
-//! expected outcomes) and the `attack_matrix` binary (which prints the
-//! table).
+//! expected outcomes), the `campaign_matrix` suite, and the
+//! `attack_matrix` binary (which prints both tables and emits the
+//! `BENCH_attack_matrix.json` artifact CI diffs against its baseline).
 
+use overhaul_apps::campaign::{
+    catalog, run_campaign, CampaignReport, DefenseMatrix, Expectation as CampaignExpectation,
+};
 use overhaul_apps::malware::{input_forgery_attack, selection_bypass_attack, Spyware};
-use overhaul_core::{Gui, System};
+use overhaul_core::{Gui, OverhaulConfig, Recorder, System};
 use overhaul_sim::SimDuration;
 use overhaul_xserver::geometry::Rect;
 use overhaul_xserver::protocol::{Atom, Request};
@@ -212,6 +217,46 @@ pub fn format_matrix(cells: &[MatrixCell]) -> String {
     out
 }
 
+// ------------------------------------------------------------------
+// Campaign defense matrix: the multi-stage companion to the single-shot
+// matrix above. Each catalog campaign runs on a fresh recorder under
+// the strict judge (no fault plan, so no excused denies), so a nonzero
+// regression count is always a real semantics change.
+// ------------------------------------------------------------------
+
+/// Runs the full campaign catalog against machines booted from `config`,
+/// one fresh recorder per campaign, strict judging.
+pub fn run_campaign_matrix(config: &OverhaulConfig) -> (DefenseMatrix, Vec<CampaignReport>) {
+    let mut matrix = DefenseMatrix::new();
+    let mut reports = Vec::new();
+    for campaign in catalog() {
+        let mut rec = Recorder::new(config.clone());
+        let report = run_campaign(&mut rec, &campaign, false);
+        matrix.absorb(&report);
+        reports.push(report);
+    }
+    (matrix, reports)
+}
+
+/// Renders every documented bypass that occurred, with the paper-grounded
+/// rationale its expectation carries — the "why the model cannot stop
+/// this" column of the report.
+pub fn format_bypass_rationales(reports: &[CampaignReport]) -> String {
+    let mut out = String::from("documented bypasses (inherent to the input-driven model):\n");
+    for report in reports {
+        for stage in &report.stages {
+            let Some(check) = &stage.check else { continue };
+            if let CampaignExpectation::ExpectedBypass { rationale } = &check.expect {
+                out.push_str(&format!(
+                    "  [{}] {}: {}\n",
+                    report.name, stage.stage, rationale
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +285,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn campaign_matrix_is_clean_on_protected_and_trips_on_grant_all() {
+        let (matrix, reports) = run_campaign_matrix(&OverhaulConfig::protected());
+        assert_eq!(matrix.regressions(), 0, "\n{}", matrix.render());
+        assert_eq!(matrix.classes_covered(), 3);
+        assert!(matrix.bypasses() >= 3);
+        let rationales = format_bypass_rationales(&reports);
+        assert!(rationales.contains("hover-theft"));
+        assert!(rationales.contains("delegation-abuse"));
+        assert!(rationales.contains("operation-binding"));
+
+        let (open, _) = run_campaign_matrix(&OverhaulConfig::grant_all());
+        assert!(open.regressions() > 0, "grant-all must regress");
     }
 }

@@ -1,18 +1,95 @@
-//! Prints the attack × machine-configuration matrix.
+//! Prints the attack × machine-configuration matrix and the multi-stage
+//! campaign defense matrix, then emits `BENCH_attack_matrix.json`.
 //!
 //! ```text
 //! cargo run --release -p overhaul-bench --bin attack_matrix
 //! ```
 //!
-//! Every attack from the threat model runs against the paper's protected
-//! configuration, the §III kernel-integrated variant, and a stock
-//! baseline. The asymmetry — all blocked on the first two, all open on
-//! the third — is the security result in one table.
+//! Part one: every single-shot attack from the threat model runs against
+//! the paper's protected configuration, the §III kernel-integrated
+//! variant, and a stock baseline. The asymmetry — all blocked on the
+//! first two, all open on the third — is the security result in one
+//! table.
+//!
+//! Part two: the campaign catalog (hover/overlay theft, delegation
+//! abuse, operation-binding confusion) runs on the protected machine
+//! under the strict judge, aggregating attack class × mechanism outcome
+//! counts plus per-class block rates. Documented `ExpectedBypass` stages
+//! print with their rationale: those rows pin where the input-driven
+//! model is genuinely insufficient, and CI diffs the per-class block
+//! rates against the committed baseline so a silent drop fails the gate.
+//! Exits non-zero on any defense regression.
 
-use overhaul_bench::attacks::{format_matrix, run_matrix};
+use overhaul_apps::campaign::AttackClass;
+use overhaul_bench::attacks::{
+    attack_names, format_bypass_rationales, format_matrix, run_campaign_matrix, run_matrix,
+    MachineKind,
+};
+use overhaul_core::OverhaulConfig;
+use overhaul_sim::BenchArtifact;
 
 fn main() {
     println!("attack matrix — protected / integrated-DM / stock baseline\n");
     let cells = run_matrix();
     println!("{}", format_matrix(&cells));
+
+    println!("campaign defense matrix — protected machine, strict judge\n");
+    let (matrix, reports) = run_campaign_matrix(&OverhaulConfig::protected());
+    println!("{}", matrix.render());
+    println!("{}", format_bypass_rationales(&reports));
+
+    let legacy_blocked = |kind: MachineKind| {
+        cells
+            .iter()
+            .filter(|c| c.machine == kind && !c.succeeded)
+            .count() as u64
+    };
+    let stages_total: usize = reports.iter().map(|r| r.stages.len()).sum();
+    let stages_judged = reports
+        .iter()
+        .flat_map(|r| r.stages.iter())
+        .filter(|s| s.check.is_some())
+        .count();
+
+    let mut artifact = BenchArtifact::new("attack_matrix")
+        .int("legacy_attacks", attack_names().len() as u64)
+        .int(
+            "legacy_blocked_protected",
+            legacy_blocked(MachineKind::Protected),
+        )
+        .int(
+            "legacy_blocked_integrated",
+            legacy_blocked(MachineKind::Integrated),
+        )
+        .int(
+            "legacy_blocked_baseline",
+            legacy_blocked(MachineKind::Baseline),
+        )
+        .int("campaigns", reports.len() as u64)
+        .int("stages_total", stages_total as u64)
+        .int("stages_judged", stages_judged as u64)
+        .int("expected_bypasses", matrix.bypasses() as u64)
+        .int("defense_regressions", matrix.regressions() as u64)
+        .int("attack_classes_reported", matrix.classes_covered() as u64);
+    for class in AttackClass::ALL {
+        artifact = artifact.num(
+            &format!("block_rate_{}_pct", class.key()),
+            matrix.block_rate_pct(class).unwrap_or(0.0),
+        );
+    }
+    match artifact.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+
+    if matrix.regressions() > 0 {
+        println!("FAIL: {} defense regressions", matrix.regressions());
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {} campaigns, {} judged stages, {} documented bypasses, 0 regressions",
+        reports.len(),
+        stages_judged,
+        matrix.bypasses()
+    );
 }

@@ -15,11 +15,20 @@
 //! snapshot, and through a serialization round-trip — demanding the
 //! byte-identical pre-failure state hash every time. A dedicated
 //! forced-panic shard proves the containment + shrink + replay pipeline
-//! end to end even when the probabilistic chaos draws no panic.
+//! end to end even when the probabilistic chaos draws no panic, and a
+//! forced defense-regression shard (grant-all boot, strict oracle) proves
+//! the campaign/oracle detection path the same way.
+//!
+//! Roughly a third of the shards interleave a seeded attack campaign
+//! (hover theft, delegation abuse, operation-binding confusion) with
+//! their chaos steps; completed campaigns aggregate into the defense
+//! matrix printed with the report.
 //!
 //! Exit status is non-zero on any unexplained divergence, any triple
-//! that fails to reproduce, or a missing forced-panic reproduction.
-//! Writes `BENCH_fleet.json` with the headline fleet numbers.
+//! that fails to reproduce, a missing forced-panic or forced-regression
+//! reproduction, any unexpected defense regression, or a quick run with
+//! no campaign-bearing shard. Writes `BENCH_fleet.json` with the
+//! headline fleet numbers.
 
 use std::collections::BTreeMap;
 
@@ -46,6 +55,10 @@ fn main() {
     let workload = FleetWorkload {
         steps: if quick { 60 } else { 120 },
         chaos: ChaosSpec::soak(),
+        // Roughly a third of the shards interleave a seeded attack
+        // campaign with their chaos steps; over 64 quick shards the
+        // probability of drawing none is (1 - 0.35)^64 ~ 1e-12.
+        campaign_p: 0.35,
         ..FleetWorkload::default()
     };
     let config = FleetConfig {
@@ -85,6 +98,11 @@ fn main() {
     for (kind, n) in &by_kind {
         println!("  failure kind {kind}: {n}");
     }
+    println!(
+        "\n{} campaign-bearing shards completed; defense matrix:\n{}",
+        report.campaign_shards,
+        report.matrix.render()
+    );
 
     // Verify every reported triple: from boot, from the last-good
     // snapshot, and through a byte round-trip — all three must reproduce
@@ -163,6 +181,65 @@ fn main() {
         }
     };
 
+    // Forced defense-regression shard: a grant-all boot under a strict
+    // deny-expecting oracle with faults and chaos cleared — the first spy
+    // probe is a wrongful grant, which must become a DefenseRegression
+    // triple that reproduces all three ways (boot, snapshot, bytes).
+    let strict_workload = FleetWorkload {
+        grant_all: true,
+        oracle_strict: true,
+        campaign_p: 0.0,
+        chaos: ChaosSpec {
+            panic_p: 0.0,
+            stall_p: 0.0,
+            spin_p: 0.0,
+            fault_intensity: 0.0,
+        },
+        ..config.workload
+    };
+    let forced_defense = ShardPlan::derive(seed ^ 0xfee1_dead, shards + 1, &strict_workload);
+    let forced_defense_report = std::thread::Builder::new()
+        .name("overhaul-shard-forced-defense".into())
+        .spawn(move || overhaul_fleet::run_shard(&forced_defense, &ShardBeat::new()))
+        .expect("spawn forced defense shard")
+        .join()
+        .expect("forced defense shard thread");
+    let forced_defense_ok = match forced_defense_report.outcome {
+        overhaul_fleet::ShardOutcome::Failed(triple)
+            if matches!(triple.kind, FailureKind::DefenseRegression { .. }) =>
+        {
+            let shrunk = shrink_triple(&triple, config.shrink_replays);
+            let from_boot = replay_triple(&shrunk.triple);
+            let from_snap = replay_triple_from_snapshot(&shrunk.triple);
+            let from_bytes = FailureTriple::from_bytes(&shrunk.triple.to_bytes())
+                .map(|d| replay_triple(&d))
+                .unwrap_or(overhaul_fleet::Reproduction::Broken {
+                    detail: "triple bytes did not round-trip".into(),
+                });
+            let ok = from_boot.is_reproduced() && from_snap == from_boot && from_bytes == from_boot;
+            println!(
+                "forced defense-regression shard: detected, events {} -> {}, replay {}",
+                shrunk.original_events,
+                shrunk.shrunk_events,
+                if ok {
+                    "OK (boot+snapshot+bytes)"
+                } else {
+                    "FAILED"
+                }
+            );
+            if !ok {
+                println!("  boot {from_boot:?}, snap {from_snap:?}, bytes {from_bytes:?}");
+            }
+            ok
+        }
+        other => {
+            println!("forced defense-regression shard did not regress: {other:?}");
+            false
+        }
+    };
+
+    let defense_regressions = by_kind.get("defense_regression").copied().unwrap_or(0);
+
     let artifact = BenchArtifact::new("fleet")
         .text("mode", mode)
         .int("shards", report.shards as u64)
@@ -178,7 +255,14 @@ fn main() {
             report.machine_hours_per_wall_hour(),
         )
         .int("divergences", divergences as u64)
-        .int("triples_not_reproduced", bad as u64);
+        .int("triples_not_reproduced", bad as u64)
+        .int("campaign_shards", report.campaign_shards as u64)
+        .int("defense_regressions", defense_regressions as u64)
+        .int("expected_bypasses", report.matrix.bypasses() as u64)
+        .int(
+            "attack_classes_reported",
+            report.matrix.classes_covered() as u64,
+        );
     match artifact.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
@@ -197,6 +281,22 @@ fn main() {
         println!("FAIL: forced injected-panic shard did not yield a replayable triple");
         failed_run = true;
     }
+    if !forced_defense_ok {
+        println!(
+            "FAIL: forced defense-regression shard did not yield a three-way-replayable triple"
+        );
+        failed_run = true;
+    }
+    if defense_regressions > 0 {
+        println!(
+            "FAIL: {defense_regressions} unexpected defense regressions in the probabilistic fleet"
+        );
+        failed_run = true;
+    }
+    if report.campaign_shards == 0 {
+        println!("FAIL: no campaign-bearing shard completed (campaign_p = 0.35)");
+        failed_run = true;
+    }
     if report.degraded {
         println!("FAIL: soak fleet degraded (budget was the fleet size — a scheduling bug)");
         failed_run = true;
@@ -205,7 +305,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "\nOK: {} shards supervised, {} failures all bisectable and replay-exact, 0 divergences",
-        report.shards, report.failed
+        "\nOK: {} shards supervised, {} failures all bisectable and replay-exact, 0 divergences, \
+         {} campaigns with 0 defense regressions",
+        report.shards, report.failed, report.campaign_shards
     );
 }

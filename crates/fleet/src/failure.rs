@@ -58,6 +58,18 @@ pub enum FailureKind {
         /// The chain-verification error, stringified.
         message: String,
     },
+    /// A campaign stage (or oracle probe) violated its expectation: a
+    /// stage expected `Blocked` was granted, or a documented
+    /// `ExpectedBypass` started being blocked (an accidental semantics
+    /// change in the other direction).
+    DefenseRegression {
+        /// Which campaign (or "fleet-oracle" for generated probes).
+        campaign: String,
+        /// The stage label (or probed path).
+        stage: String,
+        /// The judge's explanation.
+        detail: String,
+    },
 }
 
 impl FailureKind {
@@ -71,6 +83,7 @@ impl FailureKind {
             FailureKind::Divergence { .. } => "divergence",
             FailureKind::Boot { .. } => "boot",
             FailureKind::CorruptLedger { .. } => "corrupt_ledger",
+            FailureKind::DefenseRegression { .. } => "defense_regression",
         }
     }
 }
@@ -105,6 +118,16 @@ impl Pack for FailureKind {
                 enc.put_u8(6);
                 message.pack(enc);
             }
+            FailureKind::DefenseRegression {
+                campaign,
+                stage,
+                detail,
+            } => {
+                enc.put_u8(7);
+                campaign.pack(enc);
+                stage.pack(enc);
+                detail.pack(enc);
+            }
         }
     }
     fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
@@ -129,6 +152,11 @@ impl Pack for FailureKind {
             },
             6 => FailureKind::CorruptLedger {
                 message: Pack::unpack(dec)?,
+            },
+            7 => FailureKind::DefenseRegression {
+                campaign: Pack::unpack(dec)?,
+                stage: Pack::unpack(dec)?,
+                detail: Pack::unpack(dec)?,
             },
             _ => return Err(SnapshotError::BadValue("failure kind tag")),
         })
@@ -351,7 +379,9 @@ fn finish_reproduction(triple: &FailureTriple, mut system: System) -> Reproducti
             let op = triple.failing_op.clone();
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| match &op {
                 Some(ShardOp::Chaos(ChaosOp::Panic)) => crate::shard::injected_panic(triple.index),
-                Some(ShardOp::Sys(e)) | Some(ShardOp::ExpectDeny(e)) => {
+                Some(ShardOp::Sys(e))
+                | Some(ShardOp::ExpectDeny(e))
+                | Some(ShardOp::Expect(_, e)) => {
                     apply_event(&mut system, e);
                 }
                 _ => {}
@@ -430,6 +460,43 @@ fn finish_reproduction(triple: &FailureTriple, mut system: System) -> Reproducti
         FailureKind::CorruptLedger { .. } => Reproduction::Reproduced {
             state_hash: expected,
         },
+        FailureKind::DefenseRegression { stage, .. } => {
+            let (expect, op) = match &triple.failing_op {
+                Some(ShardOp::Expect(expect, e)) => (expect.clone(), e.clone()),
+                other => {
+                    return Reproduction::KindMismatch {
+                        detail: format!("defense regression without an Expect op: {other:?}"),
+                    }
+                }
+            };
+            let outcome = apply_event(&mut system, &op);
+            let granted = match overhaul_apps::campaign::outcome_granted(&op, &outcome) {
+                Some(g) => g,
+                None => {
+                    return Reproduction::KindMismatch {
+                        detail: format!(
+                            "stage {stage}: replayed op no longer grant/deny-shaped: {outcome:?}"
+                        ),
+                    }
+                }
+            };
+            // Reproduction replays the same deterministic fault plan, so
+            // the live mismatch must recur; judged strictly, because any
+            // verdict that was fault-excused live never became a triple.
+            if overhaul_apps::campaign::judge(&expect, granted, false).is_regression() {
+                Reproduction::Reproduced {
+                    state_hash: expected,
+                }
+            } else {
+                Reproduction::KindMismatch {
+                    detail: format!(
+                        "stage {stage}: recorded a defense regression, but the replayed \
+                         outcome (granted={granted}) matches expectation {}",
+                        expect.label()
+                    ),
+                }
+            }
+        }
         FailureKind::Divergence { .. } | FailureKind::Boot { .. } => unreachable!("handled above"),
     }
 }
@@ -557,6 +624,55 @@ mod tests {
         let from_boot = replay_triple(&triple);
         assert!(from_boot.is_reproduced(), "from boot: {from_boot:?}");
         assert_eq!(from_boot, replay_triple_from_snapshot(&triple));
+    }
+
+    #[test]
+    fn defense_regression_triple_reproduces_three_ways() {
+        use overhaul_apps::campaign::Expectation;
+        // A grant-all machine grants the probe a strict oracle expects
+        // blocked — the canonical forced regression.
+        let mut rec = Recorder::new(OverhaulConfig::grant_all());
+        let gui = rec
+            .apply(Event::LaunchGuiApp {
+                exe: "/usr/bin/editor".into(),
+                rect: overhaul_xserver::geometry::Rect::new(0, 0, 400, 300),
+            })
+            .gui()
+            .expect("launch");
+        rec.apply(Event::Settle);
+        let snap_idx = rec.events_recorded();
+        let snapshot = rec.snapshot();
+        rec.apply(Event::Advance(SimDuration::from_secs(3)));
+        let (system, log) = rec.finish();
+        let triple = FailureTriple {
+            index: 0,
+            seed: 42,
+            kind: FailureKind::DefenseRegression {
+                campaign: "fleet-oracle".into(),
+                stage: "/dev/snd/mic0".into(),
+                detail: "expected blocked but the operation was granted".into(),
+            },
+            log,
+            snap_idx,
+            snapshot,
+            failing_op: Some(ShardOp::Expect(
+                Expectation::Blocked,
+                Event::OpenDevice {
+                    pid: gui.pid,
+                    path: "/dev/snd/mic0".into(),
+                },
+            )),
+            virtual_deadline: Timestamp::from_millis(600_000),
+            chain_head: system.ledger_head(),
+        };
+        let from_boot = replay_triple(&triple);
+        assert!(from_boot.is_reproduced(), "from boot: {from_boot:?}");
+        let from_snap = replay_triple_from_snapshot(&triple);
+        assert_eq!(from_boot, from_snap, "both replay paths must agree");
+        let decoded = FailureTriple::from_bytes(&triple.to_bytes()).expect("decode");
+        assert_eq!(decoded.kind, triple.kind);
+        assert_eq!(decoded.kind.label(), "defense_regression");
+        assert!(replay_triple(&decoded).is_reproduced(), "from bytes");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use overhaul_apps::campaign::DefenseMatrix;
 use overhaul_sim::MetricsRegistry;
 
 use crate::schedule::{FleetWorkload, ShardPlan};
@@ -94,6 +95,10 @@ pub struct FleetReport {
     pub sim_ms_total: u64,
     /// Merged fleet metrics (per-shard registries + fleet counters).
     pub metrics: MetricsRegistry,
+    /// Defense matrix aggregated over every completed campaign.
+    pub matrix: DefenseMatrix,
+    /// Shards whose scheduled campaign ran to completion.
+    pub campaign_shards: usize,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -205,10 +210,16 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     let mut ok = 0usize;
     let mut events_total = 0u64;
     let mut sim_ms_total = 0u64;
+    let mut matrix = DefenseMatrix::new();
+    let mut campaign_shards = 0usize;
     for report in &reports {
         metrics.merge(&report.metrics);
         events_total += report.events as u64;
         sim_ms_total += report.sim_ms;
+        if let Some(campaign) = &report.campaign {
+            matrix.absorb(campaign);
+            campaign_shards += 1;
+        }
         match &report.outcome {
             ShardOutcome::Ok { .. } => ok += 1,
             ShardOutcome::Failed(triple) => {
@@ -231,6 +242,14 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     metrics.set_counter("overhaul_fleet_shards_skipped_total", skipped as u64);
     metrics.set_counter("overhaul_fleet_events_total", events_total);
     metrics.set_counter("overhaul_fleet_sim_ms_total", sim_ms_total);
+    metrics.set_counter(
+        "overhaul_fleet_campaign_shards_total",
+        campaign_shards as u64,
+    );
+    metrics.set_counter(
+        "overhaul_fleet_campaign_regressions_total",
+        matrix.regressions() as u64,
+    );
     metrics.set_gauge("overhaul_fleet_degraded", i64::from(degraded));
     for shrunk in &failures {
         metrics.add_counter(
@@ -252,6 +271,8 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         events_total,
         sim_ms_total,
         metrics,
+        matrix,
+        campaign_shards,
         wall: start.elapsed(),
     }
 }
@@ -321,6 +342,34 @@ mod tests {
                 shrunk.triple.index
             );
         }
+    }
+
+    #[test]
+    fn campaign_fleet_aggregates_a_defense_matrix() {
+        let config = FleetConfig {
+            master_seed: 77,
+            shards: 12,
+            workload: FleetWorkload {
+                steps: 40,
+                campaign_p: 1.0,
+                ..FleetWorkload::default()
+            },
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&config);
+        assert_eq!(report.failed, 0, "failures: {:?}", report.failures);
+        assert!(
+            report.campaign_shards >= 10,
+            "campaign_p=1.0 should complete campaigns on almost every shard"
+        );
+        assert_eq!(report.matrix.regressions(), 0);
+        assert!(report.matrix.bypasses() > 0, "{}", report.matrix.render());
+        assert_eq!(
+            report
+                .metrics
+                .counter("overhaul_fleet_campaign_shards_total"),
+            report.campaign_shards as u64
+        );
     }
 
     #[test]

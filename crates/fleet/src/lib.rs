@@ -44,7 +44,7 @@ pub use failure::{
     replay_triple, replay_triple_from_snapshot, FailureKind, FailureTriple, Reproduction,
 };
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
-pub use schedule::{ChaosOp, ChaosSpec, FleetWorkload, ShardOp, ShardPlan};
+pub use schedule::{CampaignSlot, ChaosOp, ChaosSpec, FleetWorkload, ShardOp, ShardPlan};
 pub use shard::{quiet_injected_panics, run_shard, ShardBeat, ShardOutcome, ShardReport};
 pub use shrink::{shrink_triple, ShrinkReport};
 

@@ -8,6 +8,7 @@
 //! the shard runner from the shard seed and recorded into an `EventLog` as
 //! it is applied — reproduction never needs the generator, only the log.
 
+use overhaul_apps::campaign::{CampaignKind, Expectation};
 use overhaul_core::OverhaulConfig;
 use overhaul_sim::{Dec, Enc, Pack, SimDuration, SimRng, SnapshotError, Timestamp};
 
@@ -52,9 +53,14 @@ pub enum ShardOp {
     Sys(overhaul_core::Event),
     /// A recorded input whose outcome the policy oracle requires to be a
     /// denial (the spy process opening a device it never interacted for).
+    /// Legacy deny-all form; kept so old failure-triple bytes decode.
     ExpectDeny(overhaul_core::Event),
     /// An injected chaos action (never recorded into the event log).
     Chaos(ChaosOp),
+    /// A recorded input judged against an explicit expectation — the
+    /// expectation-aware oracle form, which (unlike [`ShardOp::ExpectDeny`])
+    /// can represent a documented `ExpectedBypass`.
+    Expect(Expectation, overhaul_core::Event),
 }
 
 impl Pack for ShardOp {
@@ -72,6 +78,11 @@ impl Pack for ShardOp {
                 enc.put_u8(2);
                 c.pack(enc);
             }
+            ShardOp::Expect(expect, e) => {
+                enc.put_u8(3);
+                expect.pack(enc);
+                e.pack(enc);
+            }
         }
     }
     fn unpack(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
@@ -79,6 +90,7 @@ impl Pack for ShardOp {
             0 => ShardOp::Sys(Pack::unpack(dec)?),
             1 => ShardOp::ExpectDeny(Pack::unpack(dec)?),
             2 => ShardOp::Chaos(Pack::unpack(dec)?),
+            3 => ShardOp::Expect(Pack::unpack(dec)?, Pack::unpack(dec)?),
             _ => return Err(SnapshotError::BadValue("shard op tag")),
         })
     }
@@ -129,10 +141,18 @@ pub struct FleetWorkload {
     /// Maximum concurrently running GUI apps per shard.
     pub apps: usize,
     /// Boot the deliberately permissive grant-all policy instead of the
-    /// protected one. The spy oracle still expects denials, so this makes
-    /// every shard report a policy violation — used to prove the
-    /// violation-reporting path end to end.
+    /// protected one. The expectation-aware oracle documents the grants as
+    /// `ExpectedBypass` ("grants by design"), so grant-all shards complete
+    /// cleanly — unless [`FleetWorkload::oracle_strict`] is also set.
     pub grant_all: bool,
+    /// Probability a shard interleaves a seeded attack campaign with its
+    /// chaos steps.
+    pub campaign_p: f64,
+    /// Keep expecting `Blocked` even on a grant-all boot. This is the
+    /// forced defense-regression lever: strict expectations on a
+    /// permissive machine must produce `DefenseRegression` triples, which
+    /// proves the detection/bisection path end to end.
+    pub oracle_strict: bool,
     /// Chaos injection knobs.
     pub chaos: ChaosSpec,
 }
@@ -143,6 +163,8 @@ impl Default for FleetWorkload {
             steps: 120,
             apps: 3,
             grant_all: false,
+            campaign_p: 0.0,
+            oracle_strict: false,
             chaos: ChaosSpec::faults_only(),
         }
     }
@@ -159,6 +181,15 @@ pub struct ChaosSchedule {
     pub spin_at: Option<usize>,
 }
 
+/// A seeded campaign placement within a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSlot {
+    /// Generated step index at which the campaign's stages interleave.
+    pub at_step: usize,
+    /// Which catalog campaign runs.
+    pub kind: CampaignKind,
+}
+
 /// Everything a worker needs to run one shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardPlan {
@@ -172,6 +203,16 @@ pub struct ShardPlan {
     pub steps: usize,
     /// Chaos placements.
     pub chaos: ChaosSchedule,
+    /// Seeded campaign placement, if drawn.
+    pub campaign: Option<CampaignSlot>,
+    /// Keep strict `Blocked` expectations even on a grant-all boot (the
+    /// forced defense-regression lever).
+    pub oracle_strict: bool,
+    /// Whether the oracle may excuse expected-grant denials as fail-closed
+    /// responses to the shard's seeded fault plan (true whenever faults
+    /// are active and strict mode is off). Wrongful *grants* are never
+    /// excused.
+    pub lenient_oracle: bool,
     /// Virtual instant past which the shard counts as hung.
     pub virtual_deadline: Timestamp,
 }
@@ -225,10 +266,25 @@ impl ShardPlan {
             spin_at: Self::draw_step(&mut rng, workload.chaos.spin_p, workload.steps),
         };
 
+        // Campaign placement. All three draws happen unconditionally so
+        // the stream stays stable whatever campaign_p is.
+        let campaign_hit = rng.chance(workload.campaign_p);
+        let campaign_step = rng.range(0, workload.steps.max(1) as u64) as usize;
+        let campaign_kind =
+            CampaignKind::ALL[rng.range(0, CampaignKind::ALL.len() as u64) as usize];
+        let campaign = campaign_hit.then_some(CampaignSlot {
+            at_step: campaign_step,
+            kind: campaign_kind,
+        });
+
         // Generous deadline: legit steps advance at most ~1 s each, so a
         // healthy shard finishes far below it. Only a stall (or a real
-        // livelock bug) crosses it.
-        let virtual_deadline = Timestamp::from_millis(workload.steps as u64 * 5_000 + 60_000);
+        // livelock bug) crosses it. Campaign stages advance tens of
+        // virtual seconds on top of the step budget.
+        let mut virtual_deadline = Timestamp::from_millis(workload.steps as u64 * 5_000 + 60_000);
+        if campaign.is_some() {
+            virtual_deadline = Timestamp::from_millis(virtual_deadline.as_millis() + 120_000);
+        }
 
         ShardPlan {
             index,
@@ -236,6 +292,9 @@ impl ShardPlan {
             config,
             steps: workload.steps,
             chaos,
+            campaign,
+            oracle_strict: workload.oracle_strict,
+            lenient_oracle: intensity > 0.0 && !workload.oracle_strict,
             virtual_deadline,
         }
     }
@@ -314,11 +373,68 @@ mod tests {
                 pid: overhaul_sim::Pid::from_raw(9),
                 path: "/dev/video0".into(),
             }),
+            ShardOp::Expect(
+                Expectation::Blocked,
+                overhaul_core::Event::OpenDevice {
+                    pid: overhaul_sim::Pid::from_raw(9),
+                    path: "/dev/snd/mic0".into(),
+                },
+            ),
+            ShardOp::Expect(
+                Expectation::ExpectedBypass {
+                    rationale: "grant-all baseline grants by design".into(),
+                },
+                overhaul_core::Event::Settle,
+            ),
         ];
         let mut enc = Enc::new();
         ops.pack(&mut enc);
         let bytes = enc.into_bytes();
         let back = Vec::<ShardOp>::unpack(&mut Dec::new(&bytes)).expect("unpack");
         assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn campaign_p_zero_means_no_campaigns_and_one_means_all() {
+        let none = FleetWorkload::default();
+        let all = FleetWorkload {
+            campaign_p: 1.0,
+            ..FleetWorkload::default()
+        };
+        for index in 0..32 {
+            assert_eq!(ShardPlan::derive(5, index, &none).campaign, None);
+            let plan = ShardPlan::derive(5, index, &all);
+            let slot = plan.campaign.expect("campaign_p=1.0 places a campaign");
+            assert!(slot.at_step < none.steps);
+            assert!(
+                plan.virtual_deadline > ShardPlan::derive(5, index, &none).virtual_deadline,
+                "campaign shards get extra deadline headroom"
+            );
+        }
+        // The draw covers the whole catalog across the fleet.
+        let kinds: std::collections::BTreeSet<_> = (0..64)
+            .filter_map(|i| ShardPlan::derive(5, i, &all).campaign)
+            .map(|s| format!("{:?}", s.kind))
+            .collect();
+        assert_eq!(kinds.len(), CampaignKind::ALL.len());
+    }
+
+    #[test]
+    fn campaign_draw_does_not_shift_existing_streams() {
+        // The campaign draws are appended after every legacy draw, so
+        // plans with campaign_p=0 are identical to pre-campaign plans in
+        // all legacy fields regardless of the new knobs.
+        let old = FleetWorkload::default();
+        let new = FleetWorkload {
+            campaign_p: 1.0,
+            ..FleetWorkload::default()
+        };
+        for index in 0..16 {
+            let a = ShardPlan::derive(17, index, &old);
+            let b = ShardPlan::derive(17, index, &new);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.chaos, b.chaos);
+            assert_eq!(a.seed, b.seed);
+        }
     }
 }

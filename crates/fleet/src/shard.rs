@@ -14,10 +14,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
+use overhaul_apps::campaign::{
+    self, CampaignDriver, CampaignKind, CampaignReport, Expectation, StageReport, StageVerdict,
+};
 use overhaul_core::{apply_event, replay, ApplyOutcome, Event, EventLog, Gui, System};
 use overhaul_kernel::monitor::ResourceOp;
 use overhaul_kernel::policy::{IngestEvent, OpRequest};
-use overhaul_sim::{MetricsRegistry, Pid, SimDuration, SimRng, Snapshot};
+use overhaul_sim::{AuditCategory, MetricsRegistry, Pid, SimDuration, SimRng, Snapshot};
 use overhaul_xserver::geometry::Rect;
 
 use crate::failure::{panic_message, FailureKind, FailureTriple};
@@ -148,6 +151,9 @@ pub struct ShardReport {
     pub sim_ms: u64,
     /// The shard machine's full metrics registry at the end.
     pub metrics: MetricsRegistry,
+    /// The interleaved campaign's report, when the plan scheduled one and
+    /// the shard reached (and completed) it.
+    pub campaign: Option<CampaignReport>,
 }
 
 /// Live handles the workload generator steers by.
@@ -212,6 +218,7 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         .collect();
 
     let total = setup.len() + steps.len();
+    let mut campaign_report: Option<CampaignReport> = None;
     for (i, slot) in setup.into_iter().chain(steps).enumerate() {
         if beat.is_cancelled() {
             return failure(
@@ -224,9 +231,32 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                 None,
             );
         }
+        // Scheduled campaign: its stages interleave here, each recorded
+        // as an ordinary event, judged against its expectation.
+        if let Some(slot) = plan.campaign {
+            if campaign_report.is_none() && i >= 3 && i - 3 == slot.at_step {
+                if !system.x_alive() {
+                    // Campaign stages need a live display; recover first
+                    // (recorded, so replay does the same).
+                    let restart = Event::RestartX;
+                    let outcome = apply_event(&mut system, &restart);
+                    log.events.push(restart);
+                    track_outcome(&outcome, &mut live);
+                }
+                match run_campaign_stages(&mut system, &mut log, slot.kind, plan.lenient_oracle) {
+                    Ok(report) => campaign_report = Some(report),
+                    Err(boxed) => {
+                        let (kind, failing_op) = *boxed;
+                        return failure(plan, &system, log, snap_idx, last_good, kind, failing_op);
+                    }
+                }
+            }
+        }
         // Placeholder slots are generated against the live system now.
         let op = match slot {
-            ShardOp::Sys(Event::Settle) if i >= 3 => generate_op(&mut rng, &system, &mut live),
+            ShardOp::Sys(Event::Settle) if i >= 3 => {
+                generate_op(&mut rng, &system, &mut live, plan)
+            }
             other => other,
         };
         let pre_hash = system.state_hash();
@@ -353,6 +383,54 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
                     }
                 }
             }
+            ShardOp::Expect(expect, event) => {
+                let applied =
+                    panic::catch_unwind(AssertUnwindSafe(|| apply_event(&mut system, &event)));
+                match applied {
+                    Ok(outcome) => {
+                        let verdict = campaign::outcome_granted(&event, &outcome)
+                            .map(|g| campaign::judge(&expect, g, plan.lenient_oracle));
+                        if let Some(StageVerdict::Regression(detail)) = verdict {
+                            let path = match &event {
+                                Event::OpenDevice { path, .. } => path.clone(),
+                                _ => String::new(),
+                            };
+                            log.final_state_hash = Some(pre_hash);
+                            log.final_ledger_head = Some(pre_head);
+                            return failure(
+                                plan,
+                                &system,
+                                log,
+                                snap_idx,
+                                last_good,
+                                FailureKind::DefenseRegression {
+                                    campaign: "fleet-oracle".into(),
+                                    stage: path,
+                                    detail,
+                                },
+                                Some(ShardOp::Expect(expect, event)),
+                            );
+                        }
+                        log.events.push(event);
+                        track_outcome(&outcome, &mut live);
+                    }
+                    Err(payload) => {
+                        log.final_state_hash = Some(pre_hash);
+                        log.final_ledger_head = Some(pre_head);
+                        return failure(
+                            plan,
+                            &system,
+                            log,
+                            snap_idx,
+                            last_good,
+                            FailureKind::Panic {
+                                message: panic_message(&payload),
+                            },
+                            Some(ShardOp::Expect(expect, event)),
+                        );
+                    }
+                }
+            }
         }
 
         beat.tick();
@@ -448,7 +526,109 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         events: log.events.len(),
         sim_ms: system.now().as_millis(),
         metrics: safe_metrics(&system),
+        campaign: campaign_report,
     }
+}
+
+/// Runs a catalog campaign inline in a shard: every stage resolves to one
+/// recorded event, judged stages go through [`campaign::judge`] with the
+/// shard's oracle leniency, and a regression seals the log at the
+/// pre-failure hash exactly like the spy-probe oracle. A resolve that
+/// cannot produce its event (a launch failed because the display died
+/// mid-campaign and left a handle unbound) aborts the campaign gracefully
+/// instead of fabricating a non-reproducible panic triple.
+fn run_campaign_stages(
+    system: &mut System,
+    log: &mut EventLog,
+    kind: CampaignKind,
+    lenient: bool,
+) -> Result<CampaignReport, Box<(FailureKind, Option<ShardOp>)>> {
+    let script = kind.build();
+    let mut driver = CampaignDriver::new();
+    let mut stages: Vec<StageReport> = Vec::with_capacity(script.stages.len());
+    let suppressed_before = system
+        .x_audit()
+        .count(AuditCategory::ClickjackingSuppressed);
+    let filtered_before = system
+        .x_audit()
+        .count(AuditCategory::SyntheticInputFiltered);
+
+    for stage in &script.stages {
+        let resolved =
+            panic::catch_unwind(AssertUnwindSafe(|| driver.resolve(system, &stage.action)));
+        let event = match resolved {
+            Ok(event) => event,
+            Err(_) => break,
+        };
+        let pre_hash = system.state_hash();
+        let pre_head = system.ledger_head();
+        let applied = panic::catch_unwind(AssertUnwindSafe(|| apply_event(system, &event)));
+        let outcome = match applied {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                log.final_state_hash = Some(pre_hash);
+                log.final_ledger_head = Some(pre_head);
+                return Err(Box::new((
+                    FailureKind::Panic {
+                        message: panic_message(&payload),
+                    },
+                    Some(ShardOp::Sys(event)),
+                )));
+            }
+        };
+        let granted = campaign::outcome_granted(&event, &outcome);
+        let verdict = match (&stage.check, granted) {
+            (Some(check), Some(g)) => Some(campaign::judge(&check.expect, g, lenient)),
+            _ => None,
+        };
+        if let Some(StageVerdict::Regression(detail)) = verdict {
+            log.final_state_hash = Some(pre_hash);
+            log.final_ledger_head = Some(pre_head);
+            let expect = stage.check.as_ref().expect("regression implies check");
+            return Err(Box::new((
+                FailureKind::DefenseRegression {
+                    campaign: script.name.to_string(),
+                    stage: stage.label.to_string(),
+                    detail,
+                },
+                Some(ShardOp::Expect(expect.expect.clone(), event)),
+            )));
+        }
+        log.events.push(event.clone());
+        driver.absorb(&stage.action, &outcome);
+        let rule = stage.action.resource_op().and_then(|op| {
+            let pid = match &event {
+                Event::OpenDevice { pid, .. } => *pid,
+                _ => return None,
+            };
+            system
+                .kernel()
+                .explain_last(pid, op)
+                .map(|o| o.trace.kind_str())
+        });
+        stages.push(StageReport {
+            stage: stage.label,
+            check: stage.check.clone(),
+            granted,
+            rule,
+            verdict,
+        });
+    }
+
+    Ok(CampaignReport {
+        name: script.name,
+        class: script.class,
+        stages,
+        clickjacking_suppressed: system
+            .x_audit()
+            .count(AuditCategory::ClickjackingSuppressed)
+            .saturating_sub(suppressed_before),
+        synthetic_filtered: system
+            .x_audit()
+            .count(AuditCategory::SyntheticInputFiltered)
+            .saturating_sub(filtered_before),
+        ledger_verified: system.verify_ledgers().is_ok(),
+    })
 }
 
 /// Whether step `step` is a scheduled chaos slot; ordinary slots carry a
@@ -465,10 +645,30 @@ fn chaos_or_placeholder(plan: &ShardPlan, step: usize) -> ShardOp {
     }
 }
 
+/// The expectation the oracle attaches to a spy probe under this plan: a
+/// never-interacted process must be denied on a protected boot; on a
+/// grant-all boot the grant is a *documented* bypass (the permissive
+/// baseline grants by design) — unless strict mode keeps expecting
+/// `Blocked`, which is the forced defense-regression lever.
+fn spy_expectation(plan: &ShardPlan) -> Expectation {
+    if plan.config.kernel.monitor.grant_all && !plan.oracle_strict {
+        Expectation::ExpectedBypass {
+            rationale: "grant-all baseline grants every request by design".into(),
+        }
+    } else {
+        Expectation::Blocked
+    }
+}
+
 /// Draws the next workload op against the live system. Reads the system
 /// freely (handles, liveness) — determinism is not required here because
 /// only the *recorded* events matter for replay.
-fn generate_op(rng: &mut SimRng, system: &System, live: &mut LiveState) -> ShardOp {
+fn generate_op(
+    rng: &mut SimRng,
+    system: &System,
+    live: &mut LiveState,
+    plan: &ShardPlan,
+) -> ShardOp {
     // A dead display manager dominates everything: recover (or wait).
     if !system.x_alive() {
         return if rng.chance(0.7) {
@@ -498,10 +698,13 @@ fn generate_op(rng: &mut SimRng, system: &System, live: &mut LiveState) -> Shard
             None => launch(rng, live),
         },
         68..=77 => match pick_spy(rng, live) {
-            Some(pid) => ShardOp::ExpectDeny(Event::OpenDevice {
-                pid,
-                path: pick_device(rng),
-            }),
+            Some(pid) => ShardOp::Expect(
+                spy_expectation(plan),
+                Event::OpenDevice {
+                    pid,
+                    path: pick_device(rng),
+                },
+            ),
             None => ShardOp::Sys(Event::Settle),
         },
         78..=81 => match pick_gui(rng, live) {
@@ -650,6 +853,7 @@ fn failure(
         events,
         sim_ms,
         metrics,
+        campaign: None,
     }
 }
 
@@ -678,6 +882,7 @@ fn boot_failure(plan: &ShardPlan, message: String) -> ShardReport {
         events: 0,
         sim_ms: 0,
         metrics: MetricsRegistry::new(),
+        campaign: None,
     }
 }
 
@@ -783,22 +988,44 @@ mod tests {
     }
 
     #[test]
-    fn grant_all_shard_reports_a_policy_violation() {
+    fn grant_all_shard_completes_under_the_expectation_aware_oracle() {
+        // The old deny-all oracle flagged every grant-all shard as a
+        // policy violation. The expectation-aware oracle documents those
+        // grants as ExpectedBypass, so grant-all shards complete cleanly.
         let w = FleetWorkload {
             grant_all: true,
+            ..FleetWorkload::default()
+        };
+        for index in 0..4 {
+            let p = ShardPlan::derive(21, index, &w);
+            let report = run_shard(&p, &ShardBeat::new());
+            if let ShardOutcome::Failed(t) = report.outcome {
+                panic!("grant_all shard {index} failed: {:?}", t.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_oracle_on_grant_all_forces_a_defense_regression() {
+        let w = FleetWorkload {
+            grant_all: true,
+            oracle_strict: true,
             ..FleetWorkload::default()
         };
         // Scan a few shards: the spy-open op is probabilistic per step.
         let mut seen = false;
         for index in 0..8 {
             let p = ShardPlan::derive(21, index, &w);
+            assert!(p.oracle_strict);
+            assert!(!p.lenient_oracle, "strict mode disables fault excusal");
             let report = run_shard(&p, &ShardBeat::new());
             if let ShardOutcome::Failed(t) = report.outcome {
                 assert!(
-                    matches!(t.kind, FailureKind::PolicyViolation { .. }),
-                    "grant_all shard failed some other way: {:?}",
+                    matches!(t.kind, FailureKind::DefenseRegression { .. }),
+                    "strict grant_all shard failed some other way: {:?}",
                     t.kind
                 );
+                assert!(matches!(t.failing_op, Some(ShardOp::Expect(..))));
                 assert!(replay_triple(&t).is_reproduced());
                 assert!(replay_triple_from_snapshot(&t).is_reproduced());
                 seen = true;
@@ -806,6 +1033,62 @@ mod tests {
             }
         }
         assert!(seen, "no shard exercised the spy-open op in 8 tries");
+    }
+
+    #[test]
+    fn campaign_shard_completes_and_reports_the_campaign() {
+        use overhaul_apps::campaign::AttackClass;
+        let w = FleetWorkload {
+            campaign_p: 1.0,
+            ..FleetWorkload::default()
+        };
+        let mut classes = std::collections::BTreeSet::new();
+        for index in 0..6 {
+            let p = ShardPlan::derive(41, index, &w);
+            assert!(p.campaign.is_some());
+            let report = run_shard(&p, &ShardBeat::new());
+            match report.outcome {
+                ShardOutcome::Ok { .. } => {
+                    let campaign = report
+                        .campaign
+                        .expect("completed campaign shard must carry its report");
+                    assert!(
+                        campaign.regressions().is_empty(),
+                        "{}: {:?}",
+                        campaign.name,
+                        campaign.regressions()
+                    );
+                    assert!(!campaign.stages.is_empty());
+                    classes.insert(campaign.class);
+                }
+                ShardOutcome::Failed(t) => {
+                    panic!("campaign shard {index} failed: {:?}", t.kind)
+                }
+            }
+        }
+        assert!(
+            classes.contains(&AttackClass::HoverOverlay)
+                || classes.contains(&AttackClass::DelegationAbuse)
+                || classes.contains(&AttackClass::OperationBinding)
+        );
+    }
+
+    #[test]
+    fn campaign_shards_are_deterministic_and_self_replay() {
+        let w = FleetWorkload {
+            campaign_p: 1.0,
+            ..FleetWorkload::default()
+        };
+        let p = ShardPlan::derive(43, 1, &w);
+        let a = run_shard(&p, &ShardBeat::new());
+        let b = run_shard(&p, &ShardBeat::new());
+        match (&a.outcome, &b.outcome) {
+            (ShardOutcome::Ok { state_hash: x }, ShardOutcome::Ok { state_hash: y }) => {
+                assert_eq!(x, y, "campaign shards must be seed-deterministic")
+            }
+            other => panic!("campaign shard did not complete twice: {other:?}"),
+        }
+        assert_eq!(a.events, b.events);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Campaign suite: catalog-level invariants plus boundary proptests for
+//! overlay/clickjacking timing.
+//!
+//! The visibility threshold is an exact boundary: an overlay that has
+//! been mapped for *exactly* the threshold is stable (and steals the
+//! click); one millisecond less and the click is suppressed. A raise at
+//! the interaction instant restarts the clock, so the same overlay goes
+//! back to unstable. The proptests drive those edges across random
+//! thresholds and assert the decision resolves identically three ways —
+//! live, replayed from boot, and replayed from a mid-run snapshot — with
+//! byte-identical state hashes, ledger heads, and audit counts.
+
+use overhaul_bench::attacks::{format_bypass_rationales, run_campaign_matrix};
+use overhaul_core::{replay, replay_from, Event, OverhaulConfig, Recorder, System};
+use overhaul_sim::{AuditCategory, SimDuration};
+use overhaul_xserver::geometry::Rect;
+use overhaul_xserver::protocol::{Reply, Request};
+use proptest::prelude::*;
+
+/// What one timing-boundary run resolved to, with its replay evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BoundaryOutcome {
+    /// Whether the spy's post-click mic open was granted.
+    granted: bool,
+    /// ClickjackingSuppressed audit entries at the end of the run.
+    suppressed: usize,
+}
+
+/// Records the boundary script (overlay mapped over a victim, optional
+/// ripen+raise, an advance of `threshold + offset_ms`, a real click, a
+/// spy mic probe), then replays it from boot and from a mid-run snapshot
+/// and demands all three agree byte-for-byte.
+fn boundary_run(threshold_ms: u64, offset_ms: i64, raise_at: bool) -> BoundaryOutcome {
+    let mut config = OverhaulConfig::protected();
+    config.x.visibility_threshold = SimDuration::from_millis(threshold_ms);
+    let mut rec = Recorder::new(config);
+
+    let victim = rec
+        .apply(Event::LaunchGuiApp {
+            exe: "/usr/bin/bank".into(),
+            rect: Rect::new(100, 100, 200, 150),
+        })
+        .gui()
+        .expect("launch victim");
+    rec.apply(Event::Settle);
+    let spy = rec
+        .apply(Event::SpawnProcess {
+            parent: None,
+            exe: "/usr/bin/.hoverspy".into(),
+        })
+        .pid()
+        .expect("spawn spy");
+    let spy_client = rec.apply(Event::ConnectX { pid: spy }).client();
+    let overlay = match rec
+        .apply(Event::XRequest {
+            client: spy_client,
+            request: Request::CreateWindow {
+                rect: Rect::new(150, 140, 120, 80),
+            },
+        })
+        .x()
+        .expect("create overlay")
+    {
+        Reply::Window(w) => w,
+        other => panic!("expected a window, got {other:?}"),
+    };
+    rec.apply(Event::XRequest {
+        client: spy_client,
+        request: Request::MapWindow { window: overlay },
+    })
+    .x()
+    .expect("map overlay");
+
+    // Mid-run checkpoint right before the timing-sensitive tail: the
+    // restored machine must re-derive the exact same boundary decision.
+    let snapshot = rec.snapshot();
+    let snapshot_at = rec.events_recorded();
+
+    if raise_at {
+        // The victim raises its own window over the overlay: fully
+        // occluded, the overlay's visibility clock stops. It then
+        // "ripens" face-down — no stability accrues — and the spy raises
+        // it back at the interaction instant, newly visible with a fresh
+        // clock.
+        rec.apply(Event::XRequest {
+            client: victim.client,
+            request: Request::RaiseWindow {
+                window: victim.window,
+            },
+        })
+        .x()
+        .expect("victim raises");
+        rec.apply(Event::Advance(SimDuration::from_millis(
+            threshold_ms + 1_000,
+        )));
+        rec.apply(Event::XRequest {
+            client: spy_client,
+            request: Request::RaiseWindow { window: overlay },
+        })
+        .x()
+        .expect("raise overlay");
+    }
+    let advance_ms = (threshold_ms as i64 + offset_ms).max(0) as u64;
+    rec.apply(Event::Advance(SimDuration::from_millis(advance_ms)));
+    rec.apply(Event::ClickWindow {
+        window: victim.window,
+    });
+    let granted = rec
+        .apply(Event::OpenDevice {
+            pid: spy,
+            path: "/dev/snd/mic0".into(),
+        })
+        .fd()
+        .is_ok();
+
+    let live = BoundaryOutcome {
+        granted,
+        suppressed: suppressed_count(rec.system()),
+    };
+    let (recorded, log) = rec.finish();
+
+    // From boot.
+    let from_boot = replay(&log).expect("replay boots");
+    assert_eq!(
+        from_boot.state_hash(),
+        recorded.state_hash(),
+        "boot replay diverged"
+    );
+    assert_eq!(from_boot.ledger_head(), recorded.ledger_head());
+    assert_eq!(suppressed_count(&from_boot), live.suppressed);
+
+    // From the mid-run snapshot.
+    let restored = replay_from(&snapshot, log.suffix(snapshot_at), log.final_state_hash)
+        .expect("snapshot replay");
+    assert_eq!(
+        restored.state_hash(),
+        recorded.state_hash(),
+        "snapshot-restore replay diverged"
+    );
+    assert_eq!(restored.ledger_head(), recorded.ledger_head());
+    assert_eq!(suppressed_count(&restored), live.suppressed);
+
+    live
+}
+
+fn suppressed_count(system: &System) -> usize {
+    system
+        .x_audit()
+        .count(AuditCategory::ClickjackingSuppressed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An overlay visible for exactly the threshold is stable and steals
+    /// the click (the documented bypass); one millisecond short and the
+    /// click is suppressed — at every threshold, identically across live,
+    /// snapshot-restore, and replay execution.
+    #[test]
+    fn overlay_at_exact_threshold_is_the_boundary(
+        threshold_ms in 100u64..2_000,
+        offset_ms in -1i64..=1,
+    ) {
+        let outcome = boundary_run(threshold_ms, offset_ms, false);
+        prop_assert_eq!(
+            outcome.granted,
+            offset_ms >= 0,
+            "threshold {}ms offset {}ms", threshold_ms, offset_ms
+        );
+        prop_assert_eq!(outcome.suppressed > 0, offset_ms < 0);
+    }
+
+    /// An occluded overlay accrues no stability: raised back at the
+    /// interaction instant its clock starts fresh, and only re-ripening
+    /// past the exact threshold restores the steal.
+    #[test]
+    fn raise_at_interaction_instant_restarts_the_clock(
+        threshold_ms in 100u64..2_000,
+        offset_ms in -1i64..=1,
+    ) {
+        let outcome = boundary_run(threshold_ms, offset_ms, true);
+        prop_assert_eq!(
+            outcome.granted,
+            offset_ms >= 0,
+            "threshold {}ms offset {}ms after raise", threshold_ms, offset_ms
+        );
+    }
+}
+
+#[test]
+fn raise_then_immediate_click_is_always_suppressed() {
+    for threshold_ms in [100, 750, 1_999] {
+        let outcome = boundary_run(threshold_ms, -(threshold_ms as i64), true);
+        assert!(!outcome.granted, "threshold {threshold_ms}ms");
+        assert!(outcome.suppressed > 0);
+    }
+}
+
+#[test]
+fn catalog_covers_every_class_with_documented_bypasses() {
+    let (matrix, reports) = run_campaign_matrix(&OverhaulConfig::protected());
+    assert_eq!(matrix.classes_covered(), 3);
+    assert_eq!(matrix.regressions(), 0, "\n{}", matrix.render());
+    assert!(matrix.bypasses() >= 3, "\n{}", matrix.render());
+    for class in overhaul_apps::campaign::AttackClass::ALL {
+        assert_eq!(
+            matrix.block_rate_pct(class),
+            Some(100.0),
+            "{}",
+            class.label()
+        );
+    }
+    let rationales = format_bypass_rationales(&reports);
+    for name in ["hover-theft", "delegation-abuse", "operation-binding"] {
+        assert!(rationales.contains(name), "missing rationale for {name}");
+    }
+}
+
+#[test]
+fn grant_all_machine_regresses_and_the_matrix_says_where() {
+    let (matrix, reports) = run_campaign_matrix(&OverhaulConfig::grant_all());
+    assert!(matrix.regressions() > 0, "\n{}", matrix.render());
+    // Every regression on a grant-all machine is a wrongful grant.
+    for report in &reports {
+        for stage in report.regressions() {
+            assert_eq!(stage.granted, Some(true), "{stage:?}");
+        }
+    }
+}

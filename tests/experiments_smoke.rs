@@ -1,12 +1,13 @@
 //! End-to-end smoke tests over every experiment harness: each paper claim
 //! is regenerated at reduced scale and its headline direction asserted.
 
+use overhaul_apps::campaign::{outcome_granted, CampaignDriver, CampaignKind};
 use overhaul_apps::workload::{run_empirical_experiment, WorkloadConfig};
 use overhaul_bench::ablation::{sweep_delta, sweep_propagation, sweep_shm_wait, sweep_visibility};
 use overhaul_bench::applicability;
 use overhaul_bench::table1::{self, Scale};
 use overhaul_bench::usability::{self, StudyConfig};
-use overhaul_core::{replay, Event, EventLog, OverhaulConfig, Recorder, System};
+use overhaul_core::{replay, replay_from, Event, EventLog, OverhaulConfig, Recorder, System};
 use overhaul_kernel::device::DeviceClass;
 use overhaul_sim::SimDuration;
 use overhaul_xserver::geometry::Rect;
@@ -555,6 +556,80 @@ fn replay_golden_clipboard_protection() {
         .is_err());
     let (recorded, log) = rec.finish();
     assert_replay_golden(&recorded, &log);
+}
+
+// ------------------------------------------------------------------
+// Campaign goldens: the multi-stage attack-campaign scripts must replay
+// to byte-identical state hashes, trace dumps, and ledger heads — from
+// boot AND from a snapshot taken mid-campaign, with the driver's actor
+// handles re-derived purely from the replayed outcomes.
+// ------------------------------------------------------------------
+
+/// Drives one catalog campaign stage by stage over a tracing recorder,
+/// checkpointing halfway, then asserts all three replay paths (boot,
+/// serialized bytes, mid-campaign snapshot) land on the recorded
+/// `state_hash`, `trace_dump`, and ledger head. Returns each stage's
+/// observed grant/deny for the caller's semantic assertions.
+fn assert_campaign_golden(kind: CampaignKind) -> Vec<(&'static str, Option<bool>)> {
+    let campaign = kind.build();
+    let mut rec = Recorder::new(OverhaulConfig::protected().with_tracing());
+    let mut driver = CampaignDriver::new();
+    let mid = campaign.stages.len() / 2;
+    let mut checkpoint = None;
+    let mut outcomes = Vec::new();
+    for (i, stage) in campaign.stages.iter().enumerate() {
+        if i == mid {
+            checkpoint = Some((rec.snapshot(), rec.events_recorded()));
+        }
+        let event = driver.resolve(rec.system(), &stage.action);
+        let outcome = rec.apply(event.clone());
+        driver.absorb(&stage.action, &outcome);
+        outcomes.push((stage.label, outcome_granted(&event, &outcome)));
+    }
+    let (recorded, log) = rec.finish();
+    assert_replay_golden(&recorded, &log);
+
+    let from_boot = replay(&log).expect("replay boots");
+    assert_eq!(
+        from_boot.trace_dump(),
+        recorded.trace_dump(),
+        "trace dump diverged on boot replay"
+    );
+    assert_eq!(from_boot.ledger_head(), recorded.ledger_head());
+
+    let (snapshot, at) = checkpoint.expect("campaign has stages");
+    let restored =
+        replay_from(&snapshot, log.suffix(at), log.final_state_hash).expect("snapshot replay");
+    assert_eq!(
+        restored.state_hash(),
+        recorded.state_hash(),
+        "state hash diverged from the mid-campaign snapshot"
+    );
+    assert_eq!(
+        restored.trace_dump(),
+        recorded.trace_dump(),
+        "trace dump diverged from the mid-campaign snapshot"
+    );
+    assert_eq!(restored.ledger_head(), recorded.ledger_head());
+    outcomes
+}
+
+#[test]
+fn replay_golden_hover_theft_campaign() {
+    let outcomes = assert_campaign_golden(CampaignKind::HoverTheft);
+    let granted = |label: &str| outcomes.iter().find(|(l, _)| *l == label).expect(label).1;
+    assert_eq!(granted("mic after suppressed click"), Some(false));
+    assert_eq!(granted("cam after forged input"), Some(false));
+    assert_eq!(granted("mic within delta of the stolen click"), Some(true));
+}
+
+#[test]
+fn replay_golden_delegation_abuse_campaign() {
+    let outcomes = assert_campaign_golden(CampaignKind::DelegationAbuse);
+    let granted = |label: &str| outcomes.iter().find(|(l, _)| *l == label).expect(label).1;
+    assert_eq!(granted("cam before any hop"), Some(false));
+    assert_eq!(granted("cam via fresh delegation hop"), Some(true));
+    assert_eq!(granted("cam via stale hop"), Some(false));
 }
 
 #[test]

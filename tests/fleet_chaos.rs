@@ -182,18 +182,21 @@ fn failure_budget_degrades_instead_of_aborting() {
     );
 }
 
-/// The policy-violation oracle end to end: under a deliberately
-/// permissive grant-all policy the spy's device open is granted, the
-/// shard reports a violation, and the triple replays (the wrongful grant
-/// repeats deterministically).
+/// The expectation-aware oracle end to end: under a deliberately
+/// permissive grant-all policy with the *strict* oracle, the spy's
+/// device open is granted against a `Blocked` expectation, the shard
+/// reports a defense regression, and the triple replays (the wrongful
+/// grant repeats deterministically). Without strict mode the same grant
+/// is a documented bypass and produces no triple at all.
 #[test]
-fn grant_all_fleet_surfaces_policy_violations_as_triples() {
+fn grant_all_fleet_surfaces_defense_regressions_as_triples() {
     let config = FleetConfig {
         master_seed: 0x9e0,
         shards: 6,
         workload: FleetWorkload {
             steps: 80,
             grant_all: true,
+            oracle_strict: true,
             chaos: ChaosSpec {
                 panic_p: 0.0,
                 stall_p: 0.0,
@@ -206,13 +209,13 @@ fn grant_all_fleet_surfaces_policy_violations_as_triples() {
         ..FleetConfig::default()
     };
     let report = run_fleet(&config);
-    let violations: Vec<_> = report
+    let regressions: Vec<_> = report
         .failures
         .iter()
-        .filter(|f| matches!(f.triple.kind, FailureKind::PolicyViolation { .. }))
+        .filter(|f| matches!(f.triple.kind, FailureKind::DefenseRegression { .. }))
         .collect();
     assert!(
-        !violations.is_empty(),
+        !regressions.is_empty(),
         "no shard drew a spy-open op in 6 grant-all shards: {:?}",
         report
             .failures
@@ -220,15 +223,33 @@ fn grant_all_fleet_surfaces_policy_violations_as_triples() {
             .map(|f| f.triple.kind.clone())
             .collect::<Vec<_>>()
     );
-    for v in &violations {
+    for v in &regressions {
         assert!(replay_triple(&v.triple).is_reproduced());
         assert!(
             report
                 .metrics
-                .counter("overhaul_fleet_failures_total{kind=\"policy_violation\"}")
+                .counter("overhaul_fleet_failures_total{kind=\"defense_regression\"}")
                 >= 1
         );
     }
+
+    // Lenient oracle on the same fleet: the grant-all grants are
+    // documented bypasses, not failures.
+    let mut lenient = config;
+    lenient.workload.oracle_strict = false;
+    let report = run_fleet(&lenient);
+    assert!(
+        report
+            .failures
+            .iter()
+            .all(|f| !matches!(f.triple.kind, FailureKind::DefenseRegression { .. })),
+        "lenient grant-all fleet should treat spy grants as documented bypasses: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.triple.kind.clone())
+            .collect::<Vec<_>>()
+    );
 }
 
 /// A healthy fleet: zero failures, zero divergences (every shard
