@@ -301,4 +301,76 @@ mod tests {
         assert_eq!(run(&args), Ok(true));
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    /// A CI operator staring at a red gate must see *which file* is
+    /// missing *which key* — both sides, by name.
+    #[test]
+    fn missing_key_errors_name_artifact_and_key() {
+        let dir = std::env::temp_dir().join(format!("overhaul-bd-misskey-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, "{\"name\":\"d\",\"hit_ns\":100}\n").unwrap();
+        std::fs::write(
+            &cur,
+            "{\"name\":\"d\",\"hit_ns\":101,\"decide_p99_ns\":9}\n",
+        )
+        .unwrap();
+        let args = |key: &str| -> Vec<String> {
+            [base.to_str().unwrap(), cur.to_str().unwrap(), key]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        };
+
+        let err = run(&args("decide_p99_ns:lower:50")).expect_err("baseline lacks the key");
+        assert!(err.contains("baseline"), "side named: {err}");
+        assert!(
+            err.contains(base.to_str().unwrap()),
+            "artifact named: {err}"
+        );
+        assert!(err.contains("decide_p99_ns"), "key named: {err}");
+
+        std::fs::write(&base, "{\"name\":\"d\",\"hit_ns\":100,\"only_here\":1}\n").unwrap();
+        let err = run(&args("only_here")).expect_err("current lacks the key");
+        assert!(err.contains("current"), "side named: {err}");
+        assert!(err.contains(cur.to_str().unwrap()), "artifact named: {err}");
+        assert!(err.contains("only_here"), "key named: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Unreadable or structurally-damaged artifacts fail with the path in
+    /// the message, never a bare parser error.
+    #[test]
+    fn read_and_parse_failures_name_the_artifact() {
+        let dir = std::env::temp_dir().join(format!("overhaul-bd-badfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        let missing = dir.join("nonexistent.json");
+        std::fs::write(&good, "{\"hit_ns\":100}\n").unwrap();
+        std::fs::write(&bad, "this is not an artifact\n").unwrap();
+        let args = |a: &std::path::Path, b: &std::path::Path| -> Vec<String> {
+            [a.to_str().unwrap(), b.to_str().unwrap(), "hit_ns"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        };
+
+        let err = run(&args(&bad, &good)).expect_err("corrupt baseline");
+        assert!(err.starts_with("parse "), "parse failure labeled: {err}");
+        assert!(err.contains(bad.to_str().unwrap()), "artifact named: {err}");
+
+        let err = run(&args(&good, &bad)).expect_err("corrupt current");
+        assert!(err.starts_with("parse "), "parse failure labeled: {err}");
+        assert!(err.contains(bad.to_str().unwrap()), "artifact named: {err}");
+
+        let err = run(&args(&missing, &good)).expect_err("missing baseline");
+        assert!(err.starts_with("read "), "read failure labeled: {err}");
+        assert!(
+            err.contains(missing.to_str().unwrap()),
+            "artifact named: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -364,7 +364,15 @@ impl ApplyOutcome {
 }
 
 /// Applies one event to a live machine, returning its outcome.
+///
+/// This is the single choke point every driver goes through — live shards,
+/// the [`Recorder`], [`replay`], and [`replay_from`] — so it also advances
+/// the sketch book's applied-event cursor: every latency observation made
+/// while `events[k]` executes is stamped with exemplar `event_idx == k+1`,
+/// and a replay from any starting point reproduces the same coordinates
+/// (the cursor rides in the snapshot aux).
 pub fn apply_event(system: &mut System, event: &Event) -> ApplyOutcome {
+    system.sketches().note_event();
     match event {
         Event::Advance(d) => ApplyOutcome::Time(system.advance(*d)),
         Event::Settle => {

@@ -14,8 +14,8 @@ use overhaul_kernel::syscall::OpenMode;
 use overhaul_kernel::{Kernel, XORG_PATH};
 use overhaul_sim::snapshot::{fnv1a64, Dec, Enc, Pack, Snapshot, SnapshotError};
 use overhaul_sim::{
-    AuditCategory, AuditLog, Clock, ControlPlane, FaultPlan, Fd, Ledger, LedgerError, Pid,
-    SimDuration, Timestamp, Tracer,
+    AuditCategory, AuditLog, Clock, ControlPlane, FaultPlan, Fd, Ledger, LedgerError, Mechanism,
+    Pid, SimDuration, SketchBook, Sketches, Timestamp, Tracer,
 };
 use overhaul_xserver::geometry::{Point, Rect};
 use overhaul_xserver::overlay::Alert;
@@ -77,6 +77,12 @@ pub struct System {
     /// handle live inside the kernel and the display manager, all writing
     /// into one buffer so `trace_dump` shows the interleaved span tree.
     tracer: Tracer,
+    /// Shared latency-sketch book (the observability plane). Always
+    /// recording — the deterministic plane is a pure function of the event
+    /// sequence, and the wall plane is head-sampled on the hot path. A
+    /// clone lives inside the kernel; the book rides in the snapshot's aux
+    /// section like the tracer buffer (restored verbatim, never hashed).
+    sketches: Sketches,
 }
 
 impl System {
@@ -113,6 +119,8 @@ impl System {
         };
         let mut kernel = Kernel::new(clock.clone(), config.kernel.clone());
         kernel.install_tracer(tracer.clone());
+        let sketches = Sketches::new();
+        kernel.install_sketches(sketches.clone());
         let fault = config.fault.clone().map(FaultPlan::new);
         if let Some(plan) = &fault {
             kernel.install_fault_plan(plan.clone());
@@ -145,6 +153,7 @@ impl System {
             config,
             fault,
             tracer,
+            sketches,
         })
     }
 
@@ -303,6 +312,35 @@ impl System {
         &self.tracer
     }
 
+    /// The shared latency-sketch handle (always recording; see the
+    /// [`overhaul_sim::sketch`] module docs for the two-plane split).
+    pub fn sketches(&self) -> &Sketches {
+        &self.sketches
+    }
+
+    /// A point-in-time copy of the machine's sketch book.
+    pub fn sketch_book(&self) -> SketchBook {
+        self.sketches.book()
+    }
+
+    /// Stamps the machine's identity (its shard seed) into every exemplar
+    /// it records from now on. Fleet harnesses call this right after boot.
+    pub fn set_sketch_seed(&self, seed: u64) {
+        self.sketches.set_seed(seed);
+    }
+
+    /// Installs an exemplar-confirmation watch: while the applied-event
+    /// cursor equals `event_idx`, observations of any mechanism in `mechs`
+    /// have their `(span id, ledger seq)` captured.
+    pub fn sketch_watch(&self, mechs: Vec<Mechanism>, event_idx: u64) {
+        self.sketches.set_watch(mechs, event_idx);
+    }
+
+    /// The coordinates captured by the current sketch watch.
+    pub fn sketch_watched(&self) -> Vec<(u64, u64)> {
+        self.sketches.watched()
+    }
+
     /// Renders every span recorded so far as a deterministic JSON tree:
     /// the same configuration, seed, and workload produce byte-identical
     /// output. With tracing disabled this is the empty tree (`[]`).
@@ -341,6 +379,13 @@ impl System {
     /// The display manager's hash-chained ledger.
     pub fn x_ledger(&self) -> &Ledger {
         self.x.ledger()
+    }
+
+    /// A compact digest of the kernel's ledger (chain anchors, effect
+    /// histogram, reduced control plane) — what a shard ships to the
+    /// fleet's ledger aggregation/diff view.
+    pub fn ledger_summary(&self) -> overhaul_sim::LedgerSummary {
+        overhaul_sim::LedgerSummary::of(self.kernel.ledger())
     }
 
     /// The machine's sealed chain head: FNV-1a over the kernel and
@@ -700,6 +745,7 @@ impl System {
         let mut enc = Enc::new();
         self.tracer.export(&mut enc);
         self.kernel.export_metrics_snapshot(&mut enc);
+        self.sketches.export(&mut enc);
         enc.into_bytes()
     }
 
@@ -714,10 +760,22 @@ impl System {
     /// byte count is credited to the kernel's snapshot counters (aux state,
     /// so taking a checkpoint never perturbs [`System::state_hash`]).
     pub fn snapshot(&mut self) -> Snapshot {
+        let t0 = std::time::Instant::now();
         let state = self.export_state();
         let aux = self.export_aux();
         self.kernel.note_snapshot_bytes(state.len() as u64);
-        Snapshot::new(state, aux)
+        let snapshot = Snapshot::new(state, aux);
+        // Recorded after the export so the observation is not baked into
+        // the snapshot it measures (the aux book stays a prefix of the
+        // live one).
+        self.sketches.record(
+            Mechanism::SnapshotExport,
+            0,
+            t0.elapsed().as_nanos() as u64,
+            0,
+            self.kernel.ledger().next_seq().saturating_sub(1),
+        );
+        snapshot
     }
 
     /// Rebuilds a machine from a snapshot.
@@ -753,6 +811,8 @@ impl System {
         let x = XServer::import_snapshot(&mut dec, clock.clone(), tracer.clone())?;
         dec.finish()?;
         kernel.import_metrics_snapshot(&mut aux)?;
+        let sketches = Sketches::import(&mut aux)?;
+        kernel.install_sketches(sketches.clone());
         aux.finish()?;
         Ok(System {
             clock,
@@ -763,6 +823,7 @@ impl System {
             config,
             fault,
             tracer,
+            sketches,
         })
     }
 
@@ -775,10 +836,20 @@ impl System {
     /// Any [`SnapshotError`] from a truncated or corrupt snapshot; on
     /// error the machine is left unchanged.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let t0 = std::time::Instant::now();
         let prior = self.kernel.snapshot_stats();
         let mut restored = System::from_snapshot(snapshot)?;
         restored.kernel.absorb_snapshot_stats(prior);
         *self = restored;
+        // Into the restored book: the rollback's cost is an observation of
+        // the machine that lives on, not of the discarded instance.
+        self.sketches.record(
+            Mechanism::SnapshotRestore,
+            0,
+            t0.elapsed().as_nanos() as u64,
+            0,
+            self.kernel.ledger().next_seq().saturating_sub(1),
+        );
         Ok(())
     }
 }

@@ -31,19 +31,25 @@
 //! headline fleet numbers.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use overhaul_fleet::{
-    replay_triple, replay_triple_from_snapshot, run_fleet, shrink_triple, ChaosSpec, FailureKind,
-    FailureTriple, FleetConfig, FleetWorkload, ShardBeat, ShardPlan,
+    replay_triple, replay_triple_from_snapshot, run_fleet, shrink_triple, triple_file_name,
+    write_soak_dir, ChaosSpec, FailureKind, FailureTriple, FleetConfig, FleetWorkload, ShardBeat,
+    ShardPlan,
 };
-use overhaul_sim::BenchArtifact;
+use overhaul_sim::{snapshot::fnv1a64, BenchArtifact};
 
 fn arg_value(name: &str) -> Option<u64> {
+    arg_str(name).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }
 
 fn main() {
@@ -104,6 +110,24 @@ fn main() {
         report.matrix.render()
     );
 
+    // Merged observability plane: per-mechanism latency percentiles over
+    // every shard's sketches, plus the cross-shard ledger view.
+    println!(
+        "merged fleet latency sketches:\n{}",
+        report.render_latency()
+    );
+    println!(
+        "merged sketch canonical hash {:#018x} (deterministic plane)",
+        fnv1a64(&report.sketches.canonical_bytes())
+    );
+    let ledger_entries_total: u64 = report.ledgers.iter().map(|(_, l)| l.entries).sum();
+    println!(
+        "ledger view: {} shards, {} retained entries, {} distinct chain heads\n",
+        report.ledgers.len(),
+        ledger_entries_total,
+        report.distinct_ledger_heads()
+    );
+
     // Verify every reported triple: from boot, from the last-good
     // snapshot, and through a byte round-trip — all three must reproduce
     // the identical pre-failure state hash.
@@ -157,11 +181,13 @@ fn main() {
         .expect("spawn forced shard")
         .join()
         .expect("forced shard thread");
+    let mut forced_triple: Option<FailureTriple> = None;
     let forced_ok = match forced_report.outcome {
         overhaul_fleet::ShardOutcome::Failed(triple)
             if matches!(triple.kind, FailureKind::Panic { .. }) =>
         {
             let shrunk = shrink_triple(&triple, config.shrink_replays);
+            forced_triple = Some(shrunk.triple.clone());
             let repro = replay_triple(&shrunk.triple);
             println!(
                 "\nforced panic shard: contained, events {} -> {}, replay {}",
@@ -266,6 +292,60 @@ fn main() {
     match artifact.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
+    }
+
+    // Merged latency artifact. Wall-clock percentiles are informational
+    // (they vary with the host); the CI diff gate pins the count-shaped
+    // keys, which are deterministic for a given master seed.
+    let merged = &report.sketches;
+    let decide_samples = merged
+        .wall_merged(&overhaul_sim::Mechanism::parse("decide").expect("decide parses"))
+        .count();
+    let mut latency = BenchArtifact::new("fleet_latency")
+        .text("mode", mode)
+        .int("mechanisms_recorded", merged.recorded().len() as u64)
+        .int("ledger_entries_total", ledger_entries_total)
+        .int(
+            "ledger_heads_distinct",
+            report.distinct_ledger_heads() as u64,
+        )
+        .int("decide_samples", decide_samples);
+    for mech in merged.recorded() {
+        let s = merged.wall_merged(&[mech]);
+        let label = mech.label();
+        latency = latency
+            .int(&format!("{label}_samples"), s.count())
+            .int(&format!("{label}_p50_ns"), s.quantile(0.50))
+            .int(&format!("{label}_p90_ns"), s.quantile(0.90))
+            .int(&format!("{label}_p99_ns"), s.quantile(0.99))
+            .int(&format!("{label}_p999_ns"), s.quantile(0.999));
+    }
+    match latency.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write latency artifact: {e}"),
+    }
+
+    // Persist the queryable soak dir: merged sketches, one archive per
+    // clean shard, and the forced-panic triple for `ovq why`.
+    if let Some(out) = arg_str("--out") {
+        let dir = PathBuf::from(out);
+        match write_soak_dir(&dir, &report.sketches, &report.archives) {
+            Ok(()) => {
+                println!(
+                    "wrote soak dir {} ({} shard archives)",
+                    dir.display(),
+                    report.archives.len()
+                );
+                if let Some(triple) = &forced_triple {
+                    let path = dir.join(triple_file_name(triple.index));
+                    match std::fs::write(&path, triple.to_bytes()) {
+                        Ok(()) => println!("wrote {}", path.display()),
+                        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+                    }
+                }
+            }
+            Err(e) => eprintln!("warning: could not write soak dir: {e}"),
+        }
     }
 
     let mut failed_run = false;

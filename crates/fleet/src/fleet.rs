@@ -12,8 +12,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use overhaul_apps::campaign::DefenseMatrix;
-use overhaul_sim::MetricsRegistry;
+use overhaul_sim::{label_metric, LedgerSummary, MetricsRegistry, SketchBook};
 
+use crate::archive::ShardArchive;
 use crate::schedule::{FleetWorkload, ShardPlan};
 use crate::shard::{quiet_injected_panics, run_shard, ShardBeat, ShardOutcome, ShardReport};
 use crate::shrink::{shrink_triple, ShrinkReport};
@@ -99,6 +100,17 @@ pub struct FleetReport {
     pub matrix: DefenseMatrix,
     /// Shards whose scheduled campaign ran to completion.
     pub campaign_shards: usize,
+    /// Per-shard sketch books merged in canonical (shard index) order.
+    /// The deterministic plane of this book is byte-identical across two
+    /// same-master-seed runs ([`SketchBook::canonical_bytes`]).
+    pub sketches: SketchBook,
+    /// Per-shard kernel-ledger digests, sorted by shard index — the
+    /// cross-shard ledger aggregation/diff view.
+    pub ledgers: Vec<(usize, LedgerSummary)>,
+    /// One replayable archive per clean shard (log, last-good snapshot,
+    /// and sketches), sorted by shard index; `fleet_soak --out` persists
+    /// these for `ovq` exemplar forensics.
+    pub archives: Vec<ShardArchive>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -122,6 +134,34 @@ impl FleetReport {
 
     fn shards_attempted(&self) -> usize {
         self.ok + self.failed
+    }
+
+    /// Renders the fleet's merged per-mechanism wall-latency percentile
+    /// table (what `fleet_soak` prints).
+    pub fn render_latency(&self) -> String {
+        self.sketches.render_table()
+    }
+
+    /// How many distinct kernel-ledger chain heads the fleet produced.
+    /// Shards run decorrelated seeds, so heads are normally all distinct;
+    /// a *collision* here means two different shards recorded
+    /// byte-identical histories.
+    pub fn distinct_ledger_heads(&self) -> usize {
+        let mut heads: Vec<u64> = self.ledgers.iter().map(|(_, l)| l.head).collect();
+        heads.sort_unstable();
+        heads.dedup();
+        heads.len()
+    }
+
+    /// The ledger-diff view between two shard indices: every localized
+    /// divergence line, or an empty vec when the digests agree (or either
+    /// shard is unknown).
+    pub fn ledger_diff(&self, a: usize, b: usize) -> Vec<String> {
+        let find = |idx: usize| self.ledgers.iter().find(|(i, _)| *i == idx).map(|(_, l)| l);
+        match (find(a), find(b)) {
+            (Some(la), Some(lb)) => la.diff(lb),
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -212,28 +252,51 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     let mut sim_ms_total = 0u64;
     let mut matrix = DefenseMatrix::new();
     let mut campaign_shards = 0usize;
-    for report in &reports {
+    // Reports are index-sorted above, so the sketch merge order is
+    // canonical: two same-master-seed runs merge the same books in the
+    // same order and produce byte-identical deterministic planes (the
+    // merge is order-independent anyway; sorting makes it auditable).
+    let mut sketches = SketchBook::new();
+    let mut ledgers: Vec<(usize, LedgerSummary)> = Vec::with_capacity(reports.len());
+    let mut archives: Vec<ShardArchive> = Vec::new();
+    let attempted = reports.len();
+    for report in reports {
         metrics.merge(&report.metrics);
+        sketches.merge(&report.sketches);
+        ledgers.push((report.index, report.ledger.clone()));
         events_total += report.events as u64;
         sim_ms_total += report.sim_ms;
         if let Some(campaign) = &report.campaign {
             matrix.absorb(campaign);
             campaign_shards += 1;
         }
-        match &report.outcome {
-            ShardOutcome::Ok { .. } => ok += 1,
+        match report.outcome {
+            ShardOutcome::Ok { .. } => {
+                ok += 1;
+                if let (Some(log), Some(snapshot)) = (report.log, report.snapshot) {
+                    archives.push(ShardArchive {
+                        index: report.index,
+                        seed: report.seed,
+                        sketches: report.sketches,
+                        ledger: report.ledger,
+                        log,
+                        snap_idx: report.snap_idx,
+                        snapshot,
+                    });
+                }
+            }
             ShardOutcome::Failed(triple) => {
                 let shrunk = if config.shrink {
-                    shrink_triple(triple, config.shrink_replays)
+                    shrink_triple(&triple, config.shrink_replays)
                 } else {
-                    ShrinkReport::unshrunk((**triple).clone())
+                    ShrinkReport::unshrunk(*triple)
                 };
                 failures.push(shrunk);
             }
         }
     }
     let failed = failures.len();
-    let skipped = config.shards - reports.len();
+    let skipped = config.shards - attempted;
     let degraded = degraded.into_inner() || skipped > 0;
 
     metrics.set_counter("overhaul_fleet_shards_total", config.shards as u64);
@@ -253,13 +316,62 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
     metrics.set_gauge("overhaul_fleet_degraded", i64::from(degraded));
     for shrunk in &failures {
         metrics.add_counter(
-            &format!(
-                "overhaul_fleet_failures_total{{kind=\"{}\"}}",
-                shrunk.triple.kind.label()
+            &label_metric(
+                "overhaul_fleet_failures_total",
+                "kind",
+                shrunk.triple.kind.label(),
             ),
             1,
         );
     }
+
+    // The observability plane on the merged Prometheus page: wall-latency
+    // quantiles and sample counts per mechanism, plus the cross-shard
+    // ledger view (per-shard chain heads, entry counts, effect classes).
+    for mech in sketches.recorded() {
+        let sketch = sketches.wall_merged(&[mech]);
+        for (label, q) in overhaul_sim::FLEET_QUANTILES {
+            metrics.set_gauge(
+                &format!(
+                    "overhaul_fleet_latency_ns{{mech=\"{}\",q=\"{label}\"}}",
+                    mech.label()
+                ),
+                sketch.quantile(q) as i64,
+            );
+        }
+        metrics.set_counter(
+            &label_metric("overhaul_fleet_latency_samples_total", "mech", mech.label()),
+            sketch.count(),
+        );
+    }
+    let mut ledger_entries = 0u64;
+    for (index, summary) in &ledgers {
+        ledger_entries += summary.entries;
+        metrics.set_gauge(
+            &label_metric("overhaul_fleet_ledger_head", "shard", &index.to_string()),
+            // Chain heads are opaque 64-bit seals; the page carries the
+            // low 63 bits (gauges are signed).
+            (summary.head & (i64::MAX as u64)) as i64,
+        );
+        for (class, count) in &summary.effects {
+            metrics.add_counter(
+                &label_metric(
+                    "overhaul_fleet_ledger_effects_total",
+                    "class",
+                    overhaul_sim::Effect::class_label(*class),
+                ),
+                *count,
+            );
+        }
+    }
+    metrics.set_counter("overhaul_fleet_ledger_entries_total", ledger_entries);
+    let distinct = {
+        let mut heads: Vec<u64> = ledgers.iter().map(|(_, l)| l.head).collect();
+        heads.sort_unstable();
+        heads.dedup();
+        heads.len()
+    };
+    metrics.set_gauge("overhaul_fleet_ledger_heads_distinct", distinct as i64);
 
     FleetReport {
         shards: config.shards,
@@ -273,6 +385,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         metrics,
         matrix,
         campaign_shards,
+        sketches,
+        ledgers,
+        archives,
         wall: start.elapsed(),
     }
 }

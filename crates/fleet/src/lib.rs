@@ -34,12 +34,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod archive;
 pub mod failure;
 pub mod fleet;
 pub mod schedule;
 pub mod shard;
 pub mod shrink;
 
+pub use archive::{
+    find_archive, load_archives, load_merged, resolve_exemplar, resolve_exemplar_via,
+    shard_file_name, triple_file_name, write_soak_dir, ExemplarResolution, ShardArchive,
+    MERGED_SKETCH_FILE,
+};
 pub use failure::{
     replay_triple, replay_triple_from_snapshot, FailureKind, FailureTriple, Reproduction,
 };

@@ -20,7 +20,9 @@ use overhaul_apps::campaign::{
 use overhaul_core::{apply_event, replay, ApplyOutcome, Event, EventLog, Gui, System};
 use overhaul_kernel::monitor::ResourceOp;
 use overhaul_kernel::policy::{IngestEvent, OpRequest};
-use overhaul_sim::{AuditCategory, MetricsRegistry, Pid, SimDuration, SimRng, Snapshot};
+use overhaul_sim::{
+    AuditCategory, LedgerSummary, MetricsRegistry, Pid, SimDuration, SimRng, SketchBook, Snapshot,
+};
 use overhaul_xserver::geometry::Rect;
 
 use crate::failure::{panic_message, FailureKind, FailureTriple};
@@ -154,6 +156,20 @@ pub struct ShardReport {
     /// The interleaved campaign's report, when the plan scheduled one and
     /// the shard reached (and completed) it.
     pub campaign: Option<CampaignReport>,
+    /// The shard machine's latency-sketch book at the end (exemplars are
+    /// stamped with this shard's seed).
+    pub sketches: SketchBook,
+    /// Digest of the shard's kernel ledger for the fleet's cross-shard
+    /// aggregation/diff view.
+    pub ledger: LedgerSummary,
+    /// The recorded event log, kept on clean shards so the soak can
+    /// archive a replayable artifact per shard (failures carry theirs in
+    /// the triple instead).
+    pub log: Option<EventLog>,
+    /// Index of the first event *after* the `snapshot` checkpoint below.
+    pub snap_idx: usize,
+    /// The last-good checkpoint paired with `log` (clean shards only).
+    pub snapshot: Option<Snapshot>,
 }
 
 /// Live handles the workload generator steers by.
@@ -180,6 +196,9 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         Ok(Err(e)) => return boot_failure(plan, format!("{e:?}")),
         Err(payload) => return boot_failure(plan, panic_message(&payload)),
     };
+
+    // Exemplars this machine records resolve back to it by seed.
+    system.set_sketch_seed(plan.seed);
 
     let mut log = EventLog {
         config: plan.config.clone(),
@@ -517,16 +536,22 @@ fn run_shard_inner(plan: &ShardPlan, beat: &ShardBeat) -> ShardReport {
         }
     }
 
+    let events = log.events.len();
     ShardReport {
         index: plan.index,
         seed: plan.seed,
         outcome: ShardOutcome::Ok {
             state_hash: live_hash,
         },
-        events: log.events.len(),
+        events,
         sim_ms: system.now().as_millis(),
         metrics: safe_metrics(&system),
         campaign: campaign_report,
+        sketches: safe_sketches(&system),
+        ledger: safe_ledger(&system),
+        log: Some(log),
+        snap_idx,
+        snapshot: Some(last_good),
     }
 }
 
@@ -854,6 +879,11 @@ fn failure(
         sim_ms,
         metrics,
         campaign: None,
+        sketches: safe_sketches(system),
+        ledger: safe_ledger(system),
+        log: None,
+        snap_idx: 0,
+        snapshot: None,
     }
 }
 
@@ -883,6 +913,11 @@ fn boot_failure(plan: &ShardPlan, message: String) -> ShardReport {
         sim_ms: 0,
         metrics: MetricsRegistry::new(),
         campaign: None,
+        sketches: SketchBook::new(),
+        ledger: LedgerSummary::default(),
+        log: None,
+        snap_idx: 0,
+        snapshot: None,
     }
 }
 
@@ -890,6 +925,17 @@ fn boot_failure(plan: &ShardPlan, message: String) -> ShardReport {
 /// by a contained panic.
 fn safe_metrics(system: &System) -> MetricsRegistry {
     panic::catch_unwind(AssertUnwindSafe(|| system.metrics_registry())).unwrap_or_default()
+}
+
+/// Copies the shard's sketch book out, tolerating a contained panic (the
+/// handle's lock is poison-tolerant, but the copy itself stays guarded).
+fn safe_sketches(system: &System) -> SketchBook {
+    panic::catch_unwind(AssertUnwindSafe(|| system.sketch_book())).unwrap_or_default()
+}
+
+/// Digests the shard's kernel ledger, tolerating a contained panic.
+fn safe_ledger(system: &System) -> LedgerSummary {
+    panic::catch_unwind(AssertUnwindSafe(|| system.ledger_summary())).unwrap_or_default()
 }
 
 #[cfg(test)]

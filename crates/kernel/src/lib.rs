@@ -63,8 +63,8 @@ use std::collections::VecDeque;
 
 use overhaul_sim::{
     AuditCategory, AuditLog, ChannelFault, ChannelTag, Clock, ConfigKey, ControlPlane, Effect,
-    FaultPlan, Ledger, LedgerEntry, MetricsRegistry, Pid, RuleKind, SimDuration, Timestamp,
-    TraceValue, Tracer, Uid,
+    FaultPlan, Ledger, LedgerEntry, Mechanism, MetricsRegistry, Pid, RuleKind, SimDuration,
+    Sketches, SpanId, Timestamp, TraceValue, Tracer, Uid,
 };
 
 use crate::devfs::DeviceMap;
@@ -221,6 +221,12 @@ pub struct Kernel {
     /// rebuilt, replay divergences). Never serialized — they describe this
     /// kernel instance's snapshot activity, not simulation state.
     snapshot_stats: SnapshotStats,
+    /// Shared latency-sketch recording handle (the observability plane).
+    /// The system harness installs its shared handle so the kernel and the
+    /// rest of the machine record into one book. Never serialized here —
+    /// the book rides in the machine snapshot's aux section, like the
+    /// tracer buffer.
+    sketch: Sketches,
 }
 
 impl Kernel {
@@ -280,6 +286,7 @@ impl Kernel {
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
             snapshot_stats: SnapshotStats::default(),
+            sketch: Sketches::new(),
             vfs,
             clock,
             config,
@@ -452,6 +459,18 @@ impl Kernel {
     /// The kernel's tracer handle (disabled unless one was installed).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a (shared) latency-sketch handle. The mediation hot path
+    /// (head-sampled), channel exchanges, page faults, and ledger appends
+    /// record per-mechanism latency observations into it.
+    pub fn install_sketches(&mut self, sketch: Sketches) {
+        self.sketch = sketch;
+    }
+
+    /// The kernel's sketch handle.
+    pub fn sketches(&self) -> &Sketches {
+        &self.sketch
     }
 
     /// Declares whether mediation depends on a live display channel. When
@@ -773,6 +792,8 @@ impl Kernel {
         msg: NetlinkMessage,
     ) -> Result<NetlinkReply, NetlinkError> {
         let start = self.clock.now();
+        let wall_start = std::time::Instant::now();
+        let retries_before = self.monitor.stats().channel_retries;
         let span = self.tracer.span_enter("kernel.channel.exchange", start);
         self.tracer
             .add_field(span, "kind", TraceValue::Static(netlink_msg_kind(&msg)));
@@ -793,6 +814,24 @@ impl Kernel {
                 "overhaul_channel_exchange_ms",
                 end.saturating_since(start).as_millis(),
             );
+        }
+        // Channel exchanges are rare relative to decisions, so every one
+        // lands in the sketch: virtual RTT (fault delays included) in the
+        // deterministic plane, host cost in the wall plane, and the retry
+        // count of a degraded exchange as its own mechanism.
+        let span_raw = span.map_or(0, |s| s.as_raw());
+        let seq = self.ledger.next_seq().saturating_sub(1);
+        self.sketch.record(
+            Mechanism::ChannelExchange,
+            end.saturating_since(start).as_millis(),
+            wall_start.elapsed().as_nanos() as u64,
+            span_raw,
+            seq,
+        );
+        let retries = self.monitor.stats().channel_retries - retries_before;
+        if retries > 0 {
+            self.sketch
+                .record(Mechanism::ChannelRetry, retries, retries, span_raw, seq);
         }
         result
     }
@@ -1205,6 +1244,17 @@ impl Kernel {
         quarantined: bool,
     ) -> DecisionOutcome {
         let global_epoch = self.policy_epoch();
+        // The serial advances on every decision: it drives both the
+        // head-sampled `kernel.decide` span and the head-sampled latency
+        // sketch. It is plain kernel state and a pure function of the
+        // decision sequence — cache temperature and tracer installation
+        // never feed it — so a restored run (cold verdict cache) samples
+        // the exact same decisions as the uninterrupted one.
+        self.decide_serial = self.decide_serial.wrapping_add(1);
+        let sampled = self.decide_serial % Self::DECIDE_HIT_SAMPLE == 1;
+        // Wall-clock timing only exists on sampled decisions, so the
+        // unsampled hot path never touches the host clock.
+        let t0 = sampled.then(std::time::Instant::now);
         // The cache is only consulted for pids the process table knows:
         // the pid resolves to a generation-checked arena slot, and reading
         // the live task's epoch through it is what makes a hit sound. It
@@ -1243,19 +1293,20 @@ impl Kernel {
                 outcome
             }
         };
-        self.apply_decision_effects(pid, at, op, &outcome);
+        let seq = self.apply_decision_effects(pid, at, op, &outcome, sampled);
+        let mut span_id = 0u64;
         if self.tracer.is_enabled() {
             // Decisions are head-sampled 1-in-N so tracing stays within its
-            // overhead budget. The sample counter is plain kernel state and
-            // the condition never reads the cache-hit bit, so the spans a
-            // run records are a pure function of the decision sequence:
-            // a restored run (whose verdict cache is rebuilt cold) traces
-            // byte-identically to the uninterrupted one. Every decision
-            // still lands in the monitor and cache counters exactly; only
-            // the per-decision span is thinned.
-            self.decide_serial = self.decide_serial.wrapping_add(1);
-            if self.decide_serial % Self::DECIDE_HIT_SAMPLE == 1 {
-                self.record_decide_span(pid, op, at, &outcome);
+            // overhead budget. The condition never reads the cache-hit bit,
+            // so the spans a run records are a pure function of the
+            // decision sequence: a restored run (whose verdict cache is
+            // rebuilt cold) traces byte-identically to the uninterrupted
+            // one. Every decision still lands in the monitor and cache
+            // counters exactly; only the per-decision span is thinned.
+            if sampled {
+                span_id = self
+                    .record_decide_span(pid, op, at, &outcome)
+                    .map_or(0, |s| s.as_raw());
             }
             if !cache_hit {
                 if let DecisionTrace::WithinThreshold { elapsed, .. }
@@ -1265,6 +1316,19 @@ impl Kernel {
                         .observe_ms("overhaul_interaction_age_ms", elapsed.as_millis());
                 }
             }
+        }
+        if sampled {
+            // The sampled decision's full cost (cache or engine, effects,
+            // ledger append) lands in the sketch with its replay
+            // coordinate: the span just recorded (0 when untraced) and the
+            // ledger entry the decision sealed.
+            let wall = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let mech = if cache_hit {
+                Mechanism::DecideCached
+            } else {
+                Mechanism::DecideUncached
+            };
+            self.sketch.record(mech, 0, wall, span_id, seq);
         }
         if outcome.trace.chain().is_some_and(|c| c.saturated()) {
             self.metrics
@@ -1292,9 +1356,10 @@ impl Kernel {
         op: ResourceOp,
         at: Timestamp,
         outcome: &DecisionOutcome,
-    ) {
+    ) -> Option<SpanId> {
         // One-lock leaf span: decisions are instantaneous in virtual
-        // time, so enter == exit and the span carries the evidence.
+        // time, so enter == exit and the span carries the evidence. The
+        // returned id becomes the sketch exemplar's replay coordinate.
         self.tracer.record_span(
             "kernel.decide",
             at,
@@ -1312,50 +1377,50 @@ impl Kernel {
                 ),
                 ("rule", TraceValue::Static(outcome.trace.kind_str())),
             ],
-        );
+        )
     }
 
     /// Applies a decision's side effects — monitor counters and the audit
     /// record — identically for cache hits and misses. The audit detail
     /// renders from the [`DecisionTrace`], so every surface (audit log,
-    /// procfs STATS, overlay alerts) derives from the same trace.
+    /// procfs STATS, overlay alerts) derives from the same trace. Returns
+    /// the ledger sequence number the decision sealed; on sampled
+    /// decisions the append is also wall-timed into the
+    /// [`Mechanism::LedgerAppend`] sketch.
     fn apply_decision_effects(
         &mut self,
         pid: Pid,
         at: Timestamp,
         op: ResourceOp,
         outcome: &DecisionOutcome,
-    ) {
+        sampled: bool,
+    ) -> u64 {
         let verdict = Effect::Verdict {
             granted: outcome.decision.verdict.is_grant(),
             op: op_tag(op),
             rule: rule_kind(&outcome.trace),
         };
-        match outcome.trace {
+        let entry = match outcome.trace {
             DecisionTrace::ChannelDown | DecisionTrace::Quarantined => {
                 self.monitor.note_fail_closed();
-                self.ledger.append(
-                    LedgerEntry::event(
-                        at,
-                        AuditCategory::PermissionDenied,
-                        Some(pid),
-                        outcome.trace.audit_detail(op),
-                    )
-                    .with_effect(verdict),
-                );
+                LedgerEntry::event(
+                    at,
+                    AuditCategory::PermissionDenied,
+                    Some(pid),
+                    outcome.trace.audit_detail(op),
+                )
+                .with_effect(verdict)
             }
             DecisionTrace::UnknownProcess => {
                 // A query about a dead process is answered (deny) but not
                 // counted: the monitor never saw a checkable task.
-                self.ledger.append(
-                    LedgerEntry::event(
-                        at,
-                        AuditCategory::PermissionDenied,
-                        Some(pid),
-                        outcome.trace.audit_detail(op),
-                    )
-                    .with_effect(verdict),
-                );
+                LedgerEntry::event(
+                    at,
+                    AuditCategory::PermissionDenied,
+                    Some(pid),
+                    outcome.trace.audit_detail(op),
+                )
+                .with_effect(verdict)
             }
             _ => {
                 let granted = outcome.decision.verdict.is_grant();
@@ -1369,12 +1434,20 @@ impl Kernel {
                 // keep the mediation hot path allocation-free apart from
                 // chain sealing (this is the code the Table I device
                 // benchmark times).
-                self.ledger.append(
-                    LedgerEntry::event(at, category, Some(pid), outcome.trace.audit_detail(op))
-                        .with_effect(verdict),
-                );
+                LedgerEntry::event(at, category, Some(pid), outcome.trace.audit_detail(op))
+                    .with_effect(verdict)
             }
+        };
+        // Ledger-append cost is only timed on the decisions the sketch
+        // samples anyway; unsampled decisions append untimed.
+        let seq = self.ledger.next_seq();
+        let t0 = sampled.then(std::time::Instant::now);
+        self.ledger.append(entry);
+        if sampled {
+            let wall = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            self.sketch.record(Mechanism::LedgerAppend, 0, wall, 0, seq);
         }
+        seq
     }
 
     /// Decides a batch of requests through the traced path (cache + audit +
@@ -1579,6 +1652,13 @@ impl Kernel {
         reg.set_gauge(
             "overhaul_trace_dropped_spans",
             self.tracer.dropped_spans() as i64,
+        );
+        // Same value as the legacy gauge above, exported with Prometheus
+        // counter semantics (monotone within a tracer lifetime) under the
+        // conventional `_total` name.
+        reg.set_counter(
+            "overhaul_trace_spans_dropped_total",
+            self.tracer.dropped_spans(),
         );
         let snap = self.snapshot_stats;
         reg.set_counter("overhaul_snapshot_bytes_total", snap.snapshot_bytes);

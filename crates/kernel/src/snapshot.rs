@@ -24,7 +24,7 @@
 //! handles back in — the kernel never duplicates them.
 
 use overhaul_sim::snapshot::{Dec, Enc, Pack, SnapshotError};
-use overhaul_sim::{impl_pack, Clock, FaultPlan, MetricsRegistry, Tracer};
+use overhaul_sim::{impl_pack, Clock, FaultPlan, MetricsRegistry, Sketches, Tracer};
 
 use crate::policy::VerdictCache;
 use crate::{Kernel, KernelConfig};
@@ -158,6 +158,7 @@ impl Kernel {
             verdict_cache: VerdictCache::new(),
             metrics: MetricsRegistry::new(),
             snapshot_stats: SnapshotStats::default(),
+            sketch: Sketches::new(),
             clock,
             tracer,
             fault,

@@ -714,9 +714,10 @@ impl Kernel {
         self.caller(pid)?;
         let mapping = self.mm.vma(vma)?;
         let now = self.clock.now();
+        let fault_t0 = std::time::Instant::now();
         let path = self.mm.begin_access(vma, pid, AccessKind::Write, now)?;
         if path == AccessPath::Faulted {
-            self.tracer.event(
+            let span = self.tracer.event(
                 "mm.fault",
                 now,
                 &[
@@ -730,6 +731,7 @@ impl Kernel {
             if embed_on_send(slot, sender) {
                 self.audit_propagation_embed(pid, "shm");
             }
+            self.record_mm_fault_sketch(fault_t0, span);
         }
         self.shm.write(mapping.shm(), offset, bytes)
     }
@@ -751,9 +753,10 @@ impl Kernel {
         self.caller(pid)?;
         let mapping = self.mm.vma(vma)?;
         let now = self.clock.now();
+        let fault_t0 = std::time::Instant::now();
         let path = self.mm.begin_access(vma, pid, AccessKind::Read, now)?;
         if path == AccessPath::Faulted {
-            self.tracer.event(
+            let span = self.tracer.event(
                 "mm.fault",
                 now,
                 &[
@@ -764,6 +767,7 @@ impl Kernel {
             );
             let slot = self.shm.get(mapping.shm())?.embedded_ts();
             self.adopt_into(pid, slot, IpcMechanism::Shm);
+            self.record_mm_fault_sketch(fault_t0, span);
         }
         self.shm.read(mapping.shm(), offset, len)
     }
@@ -781,6 +785,24 @@ impl Kernel {
         let master = task.install_fd(FileDescription::PtyMaster { pty });
         let slave = task.install_fd(FileDescription::PtySlave { pty });
         Ok((master, slave))
+    }
+
+    /// Lands one interposition fault in the [`Mechanism::MmFault`] sketch:
+    /// faults are rare enough to record at full rate, and the exemplar
+    /// carries the `mm.fault` trace event as its span coordinate.
+    fn record_mm_fault_sketch(
+        &mut self,
+        t0: std::time::Instant,
+        span: Option<overhaul_sim::SpanId>,
+    ) {
+        let seq = self.ledger.next_seq().saturating_sub(1);
+        self.sketch.record(
+            overhaul_sim::Mechanism::MmFault,
+            0,
+            t0.elapsed().as_nanos() as u64,
+            span.map_or(0, |s| s.as_raw()),
+            seq,
+        );
     }
 
     // ===============================================================

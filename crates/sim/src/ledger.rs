@@ -173,6 +173,43 @@ pub enum Effect {
     },
 }
 
+impl Effect {
+    /// A stable small-integer class tag for effect histograms (the
+    /// fleet's per-class entry counts). [`Effect::NO_EFFECT_CLASS`] is
+    /// reserved for entries that carry no effect.
+    pub fn class(&self) -> u8 {
+        match self {
+            Effect::Config { .. } => 0,
+            Effect::Channel { .. } => 1,
+            Effect::DeviceAttached { .. } => 2,
+            Effect::DeviceInserted { .. } => 3,
+            Effect::DeviceRenamed { .. } => 4,
+            Effect::DeviceRevoked { .. } => 5,
+            Effect::DeviceRemoved { .. } => 6,
+            Effect::Verdict { .. } => 7,
+        }
+    }
+
+    /// Class tag counted for entries with no effect payload.
+    pub const NO_EFFECT_CLASS: u8 = 255;
+
+    /// Human label for a class tag from [`Effect::class`].
+    pub fn class_label(class: u8) -> &'static str {
+        match class {
+            0 => "config",
+            1 => "channel",
+            2 => "device_attached",
+            3 => "device_inserted",
+            4 => "device_renamed",
+            5 => "device_revoked",
+            6 => "device_removed",
+            7 => "verdict",
+            Effect::NO_EFFECT_CLASS => "none",
+            _ => "unknown",
+        }
+    }
+}
+
 /// One typed history entry, before sealing.
 ///
 /// `category`/`pid`/`detail` are exactly what the legacy audit row
@@ -564,6 +601,172 @@ impl ControlPlane {
         self.pack(&mut enc);
         fnv1a64(enc.bytes())
     }
+
+    /// Field-by-field divergence between two control planes, one line per
+    /// differing field (`field: self_value != other_value`). Empty when
+    /// the planes agree — the fleet's ledger-diff view uses this to
+    /// localize *where* two shards' control planes drifted apart.
+    pub fn diff(&self, other: &ControlPlane) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.overhaul_enabled != other.overhaul_enabled {
+            out.push(format!(
+                "overhaul_enabled: {} != {}",
+                self.overhaul_enabled, other.overhaul_enabled
+            ));
+        }
+        if self.ptrace_hardening != other.ptrace_hardening {
+            out.push(format!(
+                "ptrace_hardening: {} != {}",
+                self.ptrace_hardening, other.ptrace_hardening
+            ));
+        }
+        if self.channel_required != other.channel_required {
+            out.push(format!(
+                "channel_required: {} != {}",
+                self.channel_required, other.channel_required
+            ));
+        }
+        if self.delta_ms != other.delta_ms {
+            out.push(format!("delta_ms: {} != {}", self.delta_ms, other.delta_ms));
+        }
+        if self.grant_all != other.grant_all {
+            out.push(format!(
+                "grant_all: {} != {}",
+                self.grant_all, other.grant_all
+            ));
+        }
+        if self.channel != other.channel {
+            out.push(format!(
+                "channel: {:?} != {:?}",
+                self.channel, other.channel
+            ));
+        }
+        if self.devices_by_path != other.devices_by_path {
+            let mine: Vec<&String> = self
+                .devices_by_path
+                .keys()
+                .filter(|k| self.devices_by_path.get(*k) != other.devices_by_path.get(*k))
+                .collect();
+            let theirs: Vec<&String> = other
+                .devices_by_path
+                .keys()
+                .filter(|k| !self.devices_by_path.contains_key(*k))
+                .collect();
+            out.push(format!(
+                "devices_by_path: {} vs {} entries (changed here: {mine:?}, only there: {theirs:?})",
+                self.devices_by_path.len(),
+                other.devices_by_path.len()
+            ));
+        }
+        if self.quarantined != other.quarantined {
+            out.push(format!(
+                "quarantined: {:?} != {:?}",
+                self.quarantined, other.quarantined
+            ));
+        }
+        out
+    }
+}
+
+/// A compact, serializable digest of one [`Ledger`]: chain anchors, entry
+/// and effect-class counts, and the control plane reduced from the
+/// retained history. This is what shards ship to the fleet for the
+/// cross-shard ledger aggregation/diff view — small enough to collect
+/// from hundreds of shards, rich enough to localize a divergence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LedgerSummary {
+    /// Current chain head.
+    pub head: u64,
+    /// Sequence number of the first retained entry.
+    pub base_seq: u64,
+    /// Chain hash sealing the discarded prefix.
+    pub base_head: u64,
+    /// The next sequence number an append would take.
+    pub next_seq: u64,
+    /// Retained entry count.
+    pub entries: u64,
+    /// Effect-class tag ([`Effect::class`]) → count over retained
+    /// entries; entries without an effect count under
+    /// [`Effect::NO_EFFECT_CLASS`].
+    pub effects: BTreeMap<u8, u64>,
+    /// The control plane reduced from the retained history (boot state
+    /// seed), i.e. `ledger.reduce(ControlPlane::default())`.
+    pub plane: ControlPlane,
+}
+
+impl LedgerSummary {
+    /// Digests a ledger.
+    pub fn of(ledger: &Ledger) -> LedgerSummary {
+        let mut effects: BTreeMap<u8, u64> = BTreeMap::new();
+        for sealed in ledger.entries() {
+            let class = sealed
+                .entry
+                .effect
+                .as_ref()
+                .map_or(Effect::NO_EFFECT_CLASS, Effect::class);
+            *effects.entry(class).or_insert(0) += 1;
+        }
+        LedgerSummary {
+            head: ledger.head(),
+            base_seq: ledger.base_seq(),
+            base_head: ledger.base_head(),
+            next_seq: ledger.next_seq(),
+            entries: ledger.entries().len() as u64,
+            effects,
+            plane: ledger.reduce(ControlPlane::default()),
+        }
+    }
+
+    /// Renders the digest for humans (`ovq` and the soak report).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "head {:016x}  seqs [{}, {})  entries {}\n",
+            self.head, self.base_seq, self.next_seq, self.entries
+        );
+        for (class, count) in &self.effects {
+            out.push_str(&format!(
+                "  effect {:<16} {count}\n",
+                Effect::class_label(*class)
+            ));
+        }
+        out
+    }
+
+    /// Localizes the divergence between two shard histories: chain
+    /// anchors, per-class entry counts, and the reduced control planes
+    /// are compared field by field. Empty when the digests agree.
+    pub fn diff(&self, other: &LedgerSummary) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.head != other.head {
+            out.push(format!("head: {:016x} != {:016x}", self.head, other.head));
+        }
+        if (self.base_seq, self.base_head) != (other.base_seq, other.base_head) {
+            out.push(format!(
+                "base: seq {} head {:016x} != seq {} head {:016x}",
+                self.base_seq, self.base_head, other.base_seq, other.base_head
+            ));
+        }
+        if self.entries != other.entries {
+            out.push(format!("entries: {} != {}", self.entries, other.entries));
+        }
+        let classes: std::collections::BTreeSet<u8> = self
+            .effects
+            .keys()
+            .chain(other.effects.keys())
+            .copied()
+            .collect();
+        for class in classes {
+            let a = self.effects.get(&class).copied().unwrap_or(0);
+            let b = other.effects.get(&class).copied().unwrap_or(0);
+            if a != b {
+                out.push(format!("effect {}: {a} != {b}", Effect::class_label(class)));
+            }
+        }
+        for line in self.plane.diff(&other.plane) {
+            out.push(format!("plane {line}"));
+        }
+        out
+    }
 }
 
 mod pack {
@@ -763,6 +966,16 @@ mod pack {
         channel,
         devices_by_path,
         quarantined
+    });
+
+    impl_pack!(super::LedgerSummary {
+        head,
+        base_seq,
+        base_head,
+        next_seq,
+        entries,
+        effects,
+        plane
     });
 }
 

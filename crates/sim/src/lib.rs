@@ -51,6 +51,7 @@ pub mod fault;
 pub mod ids;
 pub mod ledger;
 pub mod rng;
+pub mod sketch;
 pub mod snapshot;
 pub mod time;
 pub mod trace;
@@ -62,10 +63,13 @@ pub use audit::{AuditCategory, AuditEvent, AuditLog};
 pub use fault::{ChannelFault, FaultPlan, FaultSpec, FaultStats};
 pub use ids::{Fd, Pid, Uid};
 pub use ledger::{
-    ChannelTag, ConfigKey, ControlPlane, Effect, Ledger, LedgerEntry, LedgerError, RuleKind,
-    SealedEntry,
+    ChannelTag, ConfigKey, ControlPlane, Effect, Ledger, LedgerEntry, LedgerError, LedgerSummary,
+    RuleKind, SealedEntry,
 };
 pub use rng::SimRng;
+pub use sketch::{Exemplar, Mechanism, Sketch, SketchBook, Sketches, FLEET_QUANTILES};
 pub use snapshot::{Dec, Enc, Pack, Snapshot, SnapshotError};
 pub use time::{Clock, SimDuration, Timestamp};
-pub use trace::{MetricsRegistry, SpanId, SpanKind, SpanNode, Tracer, Value as TraceValue};
+pub use trace::{
+    label_metric, MetricsRegistry, SpanId, SpanKind, SpanNode, Tracer, Value as TraceValue,
+};

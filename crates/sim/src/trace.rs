@@ -619,17 +619,17 @@ impl MetricsRegistry {
         }
     }
 
-    /// Renders the whole registry as a Prometheus-style text page, sorted
+    /// Renders the whole registry as a Prometheus text-format page, sorted
     /// by metric name. Deterministic: same contents ⇒ byte-identical page.
+    /// Each metric family gets exactly one `# HELP` and one `# TYPE`
+    /// comment before its samples, per the exposition-format spec.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let mut last_base = String::new();
         for (name, v) in &self.counters {
             let base = base_name(name);
             if base != last_base {
-                out.push_str("# TYPE ");
-                out.push_str(base);
-                out.push_str(" counter\n");
+                push_header(&mut out, base, "counter");
                 last_base = base.to_string();
             }
             out.push_str(name);
@@ -637,12 +637,11 @@ impl MetricsRegistry {
             out.push_str(&v.to_string());
             out.push('\n');
         }
+        last_base.clear();
         for (name, v) in &self.gauges {
             let base = base_name(name);
             if base != last_base {
-                out.push_str("# TYPE ");
-                out.push_str(base);
-                out.push_str(" gauge\n");
+                push_header(&mut out, base, "gauge");
                 last_base = base.to_string();
             }
             out.push_str(name);
@@ -651,9 +650,7 @@ impl MetricsRegistry {
             out.push('\n');
         }
         for (name, h) in &self.histograms {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" histogram\n");
+            push_header(&mut out, name, "histogram");
             for (i, bound) in HISTOGRAM_BOUNDS_MS.iter().enumerate() {
                 out.push_str(name);
                 out.push_str("_bucket{le=\"");
@@ -684,6 +681,67 @@ fn base_name(name: &str) -> &str {
         Some(idx) => &name[..idx],
         None => name,
     }
+}
+
+/// Emits the `# HELP` / `# TYPE` comment pair for one metric family.
+fn push_header(out: &mut String, base: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(base);
+    out.push(' ');
+    out.push_str(help_for(base));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(base);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Help text per metric family. Families without a curated line get a
+/// generic description — the exposition format requires the comment to
+/// exist, not to be bespoke.
+fn help_for(base: &str) -> &'static str {
+    match base {
+        "overhaul_decisions_total" => "Permission decisions taken by the monitor.",
+        "overhaul_trace_spans" => "Span nodes currently held in the trace buffer.",
+        "overhaul_trace_dropped_spans" => {
+            "Spans dropped after the trace buffer filled (gauge view)."
+        }
+        "overhaul_trace_spans_dropped_total" => "Spans dropped after the trace buffer filled.",
+        "overhaul_channel_state" => "Display channel health (2 up, 1 degraded, 0 down).",
+        "overhaul_channel_exchange_ms" => "Virtual-time cost of one netlink channel exchange.",
+        "overhaul_interaction_age_ms" => "Age of the interaction evidence at decision time.",
+        "overhaul_snapshot_bytes_total" => "Bytes exported by machine checkpoints.",
+        "overhaul_fleet_latency_ns" => "Fleet-merged wall-clock latency quantiles per mechanism.",
+        "overhaul_fleet_latency_samples_total" => {
+            "Fleet-merged latency observations per mechanism."
+        }
+        "overhaul_fleet_ledger_head" => "Per-shard sealed ledger chain head (low 63 bits).",
+        "overhaul_fleet_ledger_entries_total" => "Ledger entries retained across the fleet.",
+        "overhaul_fleet_ledger_effects_total" => "Fleet ledger entries per effect class.",
+        _ => "Overhaul simulation metric.",
+    }
+}
+
+/// Builds a labeled sample name `family{key="value"}` with the label
+/// value escaped per the Prometheus text exposition format (backslash,
+/// double quote, and newline must be escaped inside label values).
+pub fn label_metric(family: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(family.len() + key.len() + value.len() + 5);
+    out.push_str(family);
+    out.push('{');
+    out.push_str(key);
+    out.push_str("=\"");
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push_str("\"}");
+    out
 }
 
 // ---------------------------------------------------------------------
